@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the dispatch solvers computing `g_t(x)` — the
+//! innermost loop of every DP and online step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsz_core::{CostModel, Instance, ServerType};
+use rsz_dispatch::Dispatcher;
+
+fn affine_instance(d: usize) -> Instance {
+    let types: Vec<ServerType> = (0..d)
+        .map(|j| {
+            ServerType::new(
+                format!("t{j}"),
+                8,
+                1.0,
+                1.0 + j as f64,
+                CostModel::linear(0.5, 0.5 + j as f64),
+            )
+        })
+        .collect();
+    Instance::builder().server_types(types).loads(vec![0.0]).build().unwrap()
+}
+
+fn convex_instance(d: usize) -> Instance {
+    let types: Vec<ServerType> = (0..d)
+        .map(|j| {
+            ServerType::new(
+                format!("t{j}"),
+                8,
+                1.0,
+                1.0 + j as f64,
+                CostModel::power(0.5, 0.4, 2.0 + 0.5 * j as f64),
+            )
+        })
+        .collect();
+    Instance::builder().server_types(types).loads(vec![0.0]).build().unwrap()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_g");
+    for d in [1usize, 2, 4] {
+        let affine = affine_instance(d);
+        let convex = convex_instance(d);
+        let x: Vec<u32> = vec![4; d];
+        let cap: f64 = (0..d).map(|j| 4.0 * (1.0 + j as f64)).sum();
+        let lambda = 0.6 * cap;
+        let solver = Dispatcher::new();
+        group.bench_with_input(BenchmarkId::new("affine_greedy", d), &d, |b, _| {
+            b.iter(|| black_box(solver.g_value(&affine, 0, &x, lambda, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("convex_kkt", d), &d, |b, _| {
+            b.iter(|| black_box(solver.g_value(&convex, 0, &x, lambda, 1.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmarks of the DP building blocks: the power-up distance transform
+//! (per-slot transition) and a full DP step including dispatch fills.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rsz_core::{CostModel, Instance, ServerType};
+use rsz_dispatch::Dispatcher;
+use rsz_offline::dp::{betas, dp_step, DpOptions};
+use rsz_offline::table::Table;
+use rsz_offline::transform::arrival_transform;
+use rsz_offline::GridMode;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_transform");
+    for &(d, m) in &[(1usize, 4096u32), (2, 63), (3, 15)] {
+        let levels: Vec<Vec<u32>> = (0..d).map(|_| (0..=m).collect()).collect();
+        let cells: usize = levels.iter().map(Vec::len).product();
+        let betas = vec![1.5; d];
+        let mut table = Table::new(levels.clone(), 0.0);
+        for (i, v) in table.values_mut().iter_mut().enumerate() {
+            *v = (i % 97) as f64;
+        }
+        group.throughput(Throughput::Elements(cells as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("d{d}"), cells),
+            &cells,
+            |b, _| b.iter(|| black_box(arrival_transform(&table, &levels, &betas))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dp_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_step");
+    for &(m, parallel) in &[(256u32, false), (256, true), (4096, false), (4096, true)] {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", m, 2.0, 1.0, CostModel::linear(0.4, 1.0)))
+            .loads(vec![f64::from(m) / 3.0; 4])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let b = betas(&inst);
+        let opts = DpOptions { grid: GridMode::Full, parallel };
+        let prev = Table::origin(1);
+        let first = dp_step(&prev, &inst, &oracle, 0, &b, opts);
+        group.bench_with_input(
+            BenchmarkId::new(if parallel { "parallel" } else { "sequential" }, m),
+            &m,
+            |bch, _| bch.iter(|| black_box(dp_step(&first, &inst, &oracle, 1, &b, opts))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_dp_step);
+criterion_main!(benches);

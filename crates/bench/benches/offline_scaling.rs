@@ -1,0 +1,55 @@
+//! Benchmarks of complete offline solves: exact full-grid DP vs the
+//! (1+ε)-approximation across fleet sizes — the Theorem 21 claim as a
+//! continuously tracked benchmark.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsz_core::{CostModel, Instance, ServerType};
+use rsz_dispatch::Dispatcher;
+use rsz_offline::approximate;
+use rsz_offline::dp::{solve_cost_only, DpOptions};
+
+fn instance(m: u32, horizon: usize) -> Instance {
+    let loads: Vec<f64> = (0..horizon)
+        .map(|t| {
+            let phase = t as f64 / 24.0 * std::f64::consts::TAU;
+            f64::from(m) * (0.3 + 0.3 * phase.sin()).max(0.0)
+        })
+        .collect();
+    Instance::builder()
+        .server_type(ServerType::new("a", m, 2.0, 1.0, CostModel::linear(0.4, 1.0)))
+        .loads(loads)
+        .build()
+        .unwrap()
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_solve");
+    group.sample_size(10);
+    let horizon = 48;
+    for &m in &[64u32, 512, 4096] {
+        let inst = instance(m, horizon);
+        let oracle = Dispatcher::new();
+        if m <= 512 {
+            group.bench_with_input(BenchmarkId::new("exact_full_grid", m), &m, |b, _| {
+                b.iter(|| {
+                    black_box(solve_cost_only(
+                        &inst,
+                        &oracle,
+                        DpOptions { parallel: false, ..Default::default() },
+                    ))
+                })
+            });
+        }
+        for eps in [1.0, 0.25] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("approx_eps_{eps}"), m),
+                &m,
+                |b, _| b.iter(|| black_box(approximate(&inst, &oracle, eps, false).result.cost)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_approx);
+criterion_main!(benches);

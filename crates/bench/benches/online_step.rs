@@ -1,0 +1,82 @@
+//! Per-decision latency of the online algorithms — what a cluster
+//! controller would pay every slot.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsz_core::{CostModel, CostSpec, Instance, ServerType};
+use rsz_dispatch::Dispatcher;
+use rsz_offline::GridMode;
+use rsz_online::algo_a::{AOptions, AlgorithmA};
+use rsz_online::algo_b::AlgorithmB;
+use rsz_online::algo_c::{AlgorithmC, COptions};
+use rsz_online::runner::OnlineAlgorithm;
+
+fn instance(m: u32, horizon: usize, time_dependent: bool) -> Instance {
+    let price: Vec<f64> = (0..horizon)
+        .map(|t| 1.0 + 0.5 * ((t % 24) as f64 / 24.0 * std::f64::consts::TAU).sin())
+        .collect();
+    let cost = if time_dependent {
+        CostSpec::scaled(CostModel::linear(0.4, 1.0), price)
+    } else {
+        CostSpec::Uniform(CostModel::linear(0.4, 1.0))
+    };
+    let loads: Vec<f64> = (0..horizon)
+        .map(|t| f64::from(m) * (0.3 + 0.25 * ((t * 7) % 13) as f64 / 13.0))
+        .collect();
+    Instance::builder()
+        .server_type(ServerType::with_spec("a", m, 2.0, 1.0, cost))
+        .loads(loads)
+        .build()
+        .unwrap()
+}
+
+fn drive(algo: &mut dyn OnlineAlgorithm, inst: &Instance) -> u64 {
+    let mut acc = 0u64;
+    for t in 0..inst.horizon() {
+        acc = acc.wrapping_add(u64::from(algo.decide(inst, t).count(0)));
+    }
+    acc
+}
+
+fn bench_online(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_whole_run");
+    group.sample_size(10);
+    let horizon = 48;
+    for &m in &[64u32, 512] {
+        let ti = instance(m, horizon, false);
+        let td = instance(m, horizon, true);
+        let oracle = Dispatcher::new();
+        group.bench_with_input(BenchmarkId::new("algo_a_full", m), &m, |b, _| {
+            b.iter(|| {
+                let mut a = AlgorithmA::new(&ti, oracle, AOptions::default());
+                black_box(drive(&mut a, &ti))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algo_a_gamma", m), &m, |b, _| {
+            b.iter(|| {
+                let mut a = AlgorithmA::new(
+                    &ti,
+                    oracle,
+                    AOptions { grid: GridMode::Gamma(1.5), parallel: false },
+                );
+                black_box(drive(&mut a, &ti))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algo_b", m), &m, |b, _| {
+            b.iter(|| {
+                let mut a = AlgorithmB::new(&td, oracle, AOptions::default());
+                black_box(drive(&mut a, &td))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("algo_c_eps_0.5", m), &m, |b, _| {
+            b.iter(|| {
+                let mut a =
+                    AlgorithmC::new(&td, oracle, COptions { epsilon: 0.5, ..Default::default() });
+                black_box(drive(&mut a, &td))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Reproduce every figure and theorem-level experiment of the paper.
+//!
+//! ```text
+//! cargo run --release -p rsz-bench --bin reproduce            # run everything
+//! cargo run --release -p rsz-bench --bin reproduce -- list    # list experiments
+//! cargo run --release -p rsz-bench --bin reproduce -- exp_ratio_a fig3_algo_b_trace
+//! cargo run --release -p rsz-bench --bin reproduce -- --quick all
+//! ```
+//!
+//! Reports are printed and saved under `results/`.
+
+use std::path::PathBuf;
+
+use rsz_bench::{registry, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut seed = 0xD1CEu64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            seed = v;
+        }
+    }
+    let selected: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.as_str() != format!("{seed}"))
+        .collect();
+
+    let reg = registry();
+    if selected.iter().any(|a| a.as_str() == "list") {
+        println!("available experiments:");
+        for (id, desc, _) in &reg {
+            println!("  {id:24} {desc}");
+        }
+        return;
+    }
+
+    let run_all = selected.is_empty() || selected.iter().any(|a| a.as_str() == "all");
+    let cfg = ExperimentConfig { quick, seed };
+    let results_dir = PathBuf::from("results");
+    let mut ran = 0usize;
+    for (id, desc, runner) in &reg {
+        if !run_all && !selected.iter().any(|a| a.as_str() == *id) {
+            continue;
+        }
+        eprintln!(">> running {id} — {desc}");
+        let start = std::time::Instant::now();
+        let report = runner(&cfg);
+        let elapsed = start.elapsed();
+        println!("{}", report.render());
+        eprintln!("   ({id} finished in {:.2}s)\n", elapsed.as_secs_f64());
+        if let Err(e) = report.save(&results_dir) {
+            eprintln!("   warning: could not save results/{id}.txt: {e}");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched; try `reproduce list`");
+        std::process::exit(2);
+    }
+    eprintln!("done: {ran} experiment(s); reports saved under results/");
+}

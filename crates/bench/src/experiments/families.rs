@@ -1,0 +1,163 @@
+//! Shared instance families for the ratio experiments.
+
+use rsz_core::{CostModel, CostSpec, Instance, ServerType};
+use rsz_workloads::{adversarial, costs, fleet, stochastic, Trace};
+
+/// Workload shapes used when searching for bad competitive ratios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// One-slot spikes separated by `t̄`-scale gaps.
+    SkiProbe,
+    /// Randomized two-level oscillation.
+    Sawtooth,
+    /// Climb-and-collapse staircase.
+    Staircase,
+    /// Uniform jitter with forced zeros.
+    Jitter,
+}
+
+/// All families, for sweeps.
+pub const FAMILIES: [Family; 4] =
+    [Family::SkiProbe, Family::Sawtooth, Family::Staircase, Family::Jitter];
+
+impl Family {
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Family::SkiProbe => "ski-probe",
+            Family::Sawtooth => "sawtooth",
+            Family::Staircase => "staircase",
+            Family::Jitter => "jitter",
+        }
+    }
+
+    /// Generate a trace of this family scaled to a fleet capacity.
+    #[must_use]
+    pub fn trace(&self, len: usize, cap: f64, seed: u64) -> Trace {
+        match self {
+            Family::SkiProbe => adversarial::ski_rental_probe(len, 0.8 * cap, 3),
+            Family::Sawtooth => {
+                adversarial::boundary_sawtooth(len, 0.2 * cap, 0.9 * cap, 1, 4, seed)
+            }
+            Family::Staircase => adversarial::staircase(len, cap / 4.0, 3, 2),
+            Family::Jitter => adversarial::jitter(len, cap, 0.35, seed),
+        }
+    }
+}
+
+/// A `d`-type ratio-experiment instance with time-independent costs.
+///
+/// `constant_costs` replaces the linear energy curves with
+/// load-independent ones (the Corollary 9 setting).
+#[must_use]
+pub fn time_independent(
+    d: usize,
+    family: Family,
+    horizon: usize,
+    seed: u64,
+    constant_costs: bool,
+) -> Instance {
+    let mut types = fleet::scaling_family(d, 2);
+    if constant_costs {
+        for ty in &mut types {
+            let idle = ty.idle_cost(0).max(0.2);
+            ty.cost = CostSpec::Uniform(CostModel::constant(idle));
+        }
+    }
+    let cap = fleet::total_capacity(&types);
+    let trace = family.trace(horizon, cap, seed).capped(cap);
+    Instance::builder()
+        .server_types(types)
+        .loads(trace.into_values())
+        .build()
+        .expect("family instances are feasible by construction")
+}
+
+/// A `d`-type instance with **time-dependent** costs: the scaling-family
+/// fleet under a diurnal or spiky electricity-price profile.
+#[must_use]
+pub fn time_dependent(
+    d: usize,
+    family: Family,
+    horizon: usize,
+    seed: u64,
+    spiky_prices: bool,
+) -> Instance {
+    let base = fleet::scaling_family(d, 2);
+    let profile = if spiky_prices {
+        costs::price_profile_spiky(horizon, 0.8, 3.0, 5)
+    } else {
+        costs::price_profile_diurnal(horizon, 0.5, 2.0, 8)
+    };
+    let types: Vec<ServerType> = base
+        .into_iter()
+        .map(|ty| {
+            let model = match &ty.cost {
+                CostSpec::Uniform(m) => m.clone(),
+                _ => unreachable!("scaling_family is uniform"),
+            };
+            ServerType::with_spec(
+                ty.name,
+                ty.count,
+                ty.switching_cost,
+                ty.capacity,
+                CostSpec::scaled(model, profile.clone()),
+            )
+        })
+        .collect();
+    let cap = fleet::total_capacity(&types);
+    let trace = family.trace(horizon, cap, seed).capped(cap);
+    Instance::builder()
+        .server_types(types)
+        .loads(trace.into_values())
+        .build()
+        .expect("family instances are feasible by construction")
+}
+
+/// Homogeneous random instance for the approximation experiments.
+#[must_use]
+pub fn approx_instance(d: usize, m_per_type: u32, horizon: usize, seed: u64) -> Instance {
+    let types: Vec<ServerType> = (0..d)
+        .map(|j| {
+            ServerType::new(
+                format!("t{j}"),
+                m_per_type,
+                1.0 + j as f64,
+                1.0 + j as f64,
+                CostModel::linear(0.3 + 0.2 * j as f64, 0.8),
+            )
+        })
+        .collect();
+    let cap = fleet::total_capacity(&types);
+    let trace = stochastic::random_walk(horizon, cap / 2.0, cap / 4.0, cap, seed);
+    Instance::builder()
+        .server_types(types)
+        .loads(trace.into_values())
+        .build()
+        .expect("approx instances are feasible by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_produce_valid_instances() {
+        for fam in FAMILIES {
+            let i = time_independent(2, fam, 12, 1, false);
+            assert_eq!(i.num_types(), 2);
+            assert!(i.is_time_independent());
+            let c = time_independent(2, fam, 12, 1, true);
+            assert!(c.is_load_independent());
+            let td = time_dependent(1, fam, 12, 1, true);
+            assert!(!td.is_time_independent());
+        }
+    }
+
+    #[test]
+    fn approx_instance_valid() {
+        let i = approx_instance(2, 10, 8, 3);
+        assert_eq!(i.max_counts(), vec![10, 10]);
+    }
+}

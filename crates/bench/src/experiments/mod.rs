@@ -1,0 +1,20 @@
+//! Experiment implementations; see the crate root for the registry.
+
+pub mod approx_ratio;
+pub mod baselines;
+pub mod chasing_lb;
+pub mod families;
+pub mod integrality_gap;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod prefix_backend;
+pub mod ratio_a;
+pub mod ratio_b;
+pub mod ratio_c;
+pub mod rounding_blowup;
+pub mod runtime_scaling;
+pub mod time_varying_m;
+pub mod worstcase_search;

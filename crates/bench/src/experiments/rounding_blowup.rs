@@ -1,0 +1,131 @@
+//! Why discrete-first matters — the rounding blow-up from the paper's
+//! related-work discussion.
+//!
+//! The fractional relaxation (Lin et al., Bansal et al.) allows
+//! non-integral server counts. The paper observes that naively rounding
+//! a fractional schedule *up* can make the switching cost arbitrarily
+//! large: a fractional schedule oscillating between `1` and `1+δ` pays
+//! switching `T·δ·β`, but its ceiling oscillates between 1 and 2 and
+//! pays `≈ T·β/2 — a blow-up factor of `Θ(1/δ)`.
+//!
+//! This experiment constructs exactly that family, prices fractional
+//! schedules with the natural continuous extension of the cost (d = 1,
+//! linear costs, so `g_t(x) = idle·x + rate·λ_t` for feasible loads) and
+//! tabulates the blow-up, then shows the discrete DP sidesteps the
+//! problem entirely (its cost is within a constant of the fractional
+//! optimum's lower bound).
+
+use rsz_core::{CostModel, Instance, ServerType};
+use rsz_dispatch::Dispatcher;
+use rsz_offline::dp::{solve_cost_only, DpOptions};
+
+use crate::report::{f, Report, TextTable};
+use crate::ExperimentConfig;
+
+/// Cost of a *fractional* schedule under d = 1 linear costs
+/// (`idle + rate·z` per server): operating `Σ idle·x_t + rate·λ_t`,
+/// switching `β·Σ (x_t − x_{t−1})^+`, starting from 0.
+fn fractional_cost(xs: &[f64], loads: &[f64], idle: f64, rate: f64, beta: f64) -> f64 {
+    let mut cost = 0.0;
+    let mut prev = 0.0_f64;
+    for (&x, &l) in xs.iter().zip(loads) {
+        debug_assert!(x >= l, "fractional schedule must cover the load");
+        cost += idle * x + rate * l + beta * (x - prev).max(0.0);
+        prev = x;
+    }
+    cost
+}
+
+/// Run the rounding blow-up experiment.
+#[must_use]
+pub fn run(cfg: &ExperimentConfig) -> Report {
+    let mut report = Report::new(
+        "exp_rounding_blowup",
+        "Related work: rounding a fractional schedule blows up switching cost",
+    );
+    let horizon = if cfg.quick { 40 } else { 200 };
+    let (idle, rate, beta) = (1.0, 0.5, 10.0);
+    report.kv("family", "loads oscillate 1 ↔ 1+δ; fractional OPT tracks exactly");
+    report.kv("T", horizon);
+    report.kv("β", beta);
+    report.blank();
+
+    let mut table = TextTable::new([
+        "δ",
+        "fractional cost",
+        "ceil-rounded cost",
+        "blow-up",
+        "discrete DP cost",
+    ]);
+    for &delta in &[0.5, 0.2, 0.1, 0.05, 0.01] {
+        // Loads alternate between 1 and 1+δ; capacity 1 per server.
+        let loads: Vec<f64> =
+            (0..horizon).map(|t| if t % 2 == 0 { 1.0 } else { 1.0 + delta }).collect();
+        // The load-tracking fractional schedule (optimal for small δ:
+        // idle savings β·δ per cycle dominate? — it is *a* natural
+        // fractional schedule; we need it only as the rounding input).
+        let frac: Vec<f64> = loads.clone();
+        let c_frac = fractional_cost(&frac, &loads, idle, rate, beta);
+        // Naive rounding: ceil every count.
+        let rounded: Vec<f64> = frac.iter().map(|x| x.ceil()).collect();
+        let c_rounded = fractional_cost(&rounded, &loads, idle, rate, beta);
+
+        // The discrete DP on the same instance (m = 2 suffices).
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 2, beta, 1.0, CostModel::linear(idle, rate)))
+            .loads(loads)
+            .build()
+            .expect("valid instance");
+        let oracle = Dispatcher::new();
+        let c_dp = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+
+        table.row([
+            format!("{delta}"),
+            f(c_frac),
+            f(c_rounded),
+            format!("{:.2}×", c_rounded / c_frac),
+            f(c_dp),
+        ]);
+        assert!(
+            c_dp <= c_rounded + 1e-9,
+            "the discrete optimum can never lose to naive rounding"
+        );
+    }
+    report.table(&table);
+    report.blank();
+    report.line("As δ → 0 the fractional tracker's cost approaches the unavoidable");
+    report.line("baseline while its ceiling pays β every other slot — an unbounded");
+    report.line("blow-up. The discrete DP (last column) simply keeps 2 servers on and");
+    report.line("pays neither; this is why the paper optimizes integrally from the start");
+    report.line("instead of rounding the fractional relaxation.");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blowup_grows_as_delta_shrinks() {
+        let horizon = 40;
+        let (idle, rate, beta) = (1.0, 0.5, 10.0);
+        let mut last = 0.0;
+        for &delta in &[0.5, 0.1, 0.01] {
+            let loads: Vec<f64> =
+                (0..horizon).map(|t| if t % 2 == 0 { 1.0 } else { 1.0 + delta }).collect();
+            let frac = loads.clone();
+            let rounded: Vec<f64> = frac.iter().map(|x| x.ceil()).collect();
+            let blowup = fractional_cost(&rounded, &loads, idle, rate, beta)
+                / fractional_cost(&frac, &loads, idle, rate, beta);
+            assert!(blowup > last, "blow-up must grow as δ shrinks");
+            last = blowup;
+        }
+        assert!(last > 3.0, "blow-up should be substantial at δ = 0.01, got {last}");
+    }
+
+    #[test]
+    fn report_runs() {
+        let r = run(&ExperimentConfig { quick: true, seed: 0 });
+        assert!(r.render().contains("blow-up"));
+    }
+}

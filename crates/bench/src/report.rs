@@ -1,0 +1,162 @@
+//! Plain-text experiment reports: aligned tables, key-value lines, and
+//! persistence under `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A text report assembled by an experiment.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Stable experiment identifier (file stem under `results/`).
+    pub id: &'static str,
+    /// Human title printed as the header.
+    pub title: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    #[must_use]
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self { id, title: title.into(), lines: Vec::new() }
+    }
+
+    /// Append a free-form line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Append an empty line.
+    pub fn blank(&mut self) {
+        self.lines.push(String::new());
+    }
+
+    /// Append a `key: value` line.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.lines.push(format!("{key}: {value}"));
+    }
+
+    /// Append a rendered table.
+    pub fn table(&mut self, table: &TextTable) {
+        for l in table.render_lines() {
+            self.lines.push(l);
+        }
+    }
+
+    /// Render the full report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let bar = "=".repeat(self.title.len().max(8));
+        let _ = writeln!(out, "{bar}\n{}\n{bar}", self.title);
+        for l in &self.lines {
+            let _ = writeln!(out, "{l}");
+        }
+        out
+    }
+
+    /// Write the report under `dir/<id>.txt` (best-effort; returns the
+    /// write error for the caller to surface).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.txt", self.id)), self.render())
+    }
+}
+
+/// Column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (cells are pre-formatted strings).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render to aligned lines (header, separator, rows).
+    #[must_use]
+    pub fn render_lines(&self) -> Vec<String> {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = Vec::with_capacity(self.rows.len() + 2);
+        out.push(fmt_row(&self.headers));
+        out.push(widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            out.push(fmt_row(row));
+        }
+        out
+    }
+}
+
+/// Format a float compactly for tables.
+#[must_use]
+pub fn f(x: f64) -> String {
+    if x == f64::INFINITY {
+        "inf".into()
+    } else if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["name", "v"]);
+        t.row(["a", "1"]);
+        t.row(["longer", "22"]);
+        let lines = t.render_lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with(" 1"));
+    }
+
+    #[test]
+    fn report_renders_title_and_lines() {
+        let mut r = Report::new("x", "Test");
+        r.kv("k", 3);
+        let s = r.render();
+        assert!(s.contains("Test"));
+        assert!(s.contains("k: 3"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(f64::INFINITY), "inf");
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(1.23456), "1.2346");
+    }
+}

@@ -1,0 +1,169 @@
+//! Schedule analytics: the operational metrics a data-center operator
+//! reads off a schedule (utilization, energy split, switching activity).
+//!
+//! Used by the examples and the experiment harness to explain *why* one
+//! policy beats another — e.g. all-on loses on idle energy while
+//! reactive policies lose on power cycles.
+
+use crate::config::Config;
+use crate::instance::Instance;
+use crate::objective::GtOracle;
+use crate::schedule::Schedule;
+
+/// Per-type operational statistics of a schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeStats {
+    /// Server-slots this type was active (`Σ_t x_{t,j}`).
+    pub active_server_slots: u64,
+    /// Number of power-up operations.
+    pub power_ups: u64,
+    /// Total switching cost paid by this type.
+    pub switching_cost: f64,
+    /// Mean active servers per slot.
+    pub mean_active: f64,
+    /// Peak active servers.
+    pub peak_active: u32,
+}
+
+/// Whole-schedule operational statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleStats {
+    /// Per-type breakdown.
+    pub per_type: Vec<TypeStats>,
+    /// Fraction of provisioned capacity actually used, averaged over
+    /// slots with nonzero capacity: `mean_t λ_t / cap(x_t)`.
+    pub mean_utilization: f64,
+    /// Number of slots with zero active servers.
+    pub fully_off_slots: usize,
+    /// Operating cost per unit of processed volume (∞ if no volume).
+    pub cost_per_volume: f64,
+}
+
+/// Compute operational statistics of a feasible schedule.
+///
+/// # Panics
+/// Panics if the schedule length does not match the instance horizon.
+#[must_use]
+pub fn schedule_stats(
+    instance: &Instance,
+    schedule: &Schedule,
+    oracle: &dyn GtOracle,
+) -> ScheduleStats {
+    assert_eq!(schedule.len(), instance.horizon(), "schedule/instance mismatch");
+    let d = instance.num_types();
+    let mut per_type: Vec<TypeStats> = (0..d)
+        .map(|_| TypeStats {
+            active_server_slots: 0,
+            power_ups: 0,
+            switching_cost: 0.0,
+            mean_active: 0.0,
+            peak_active: 0,
+        })
+        .collect();
+    let mut prev = Config::zeros(d);
+    let mut util_sum = 0.0;
+    let mut util_slots = 0usize;
+    let mut fully_off = 0usize;
+    let mut total_volume = 0.0;
+    let mut total_operating = 0.0;
+    for (t, x) in schedule.iter() {
+        let cap = x.capacity(instance.types());
+        if cap > 0.0 {
+            util_sum += instance.load(t) / cap;
+            util_slots += 1;
+        } else {
+            fully_off += 1;
+        }
+        total_volume += instance.load(t);
+        total_operating += oracle.g(instance, t, x.counts());
+        for (j, stats) in per_type.iter_mut().enumerate() {
+            let ups = u64::from(x.count(j).saturating_sub(prev.count(j)));
+            stats.power_ups += ups;
+            stats.switching_cost += ups as f64 * instance.switching_cost(j);
+            stats.active_server_slots += u64::from(x.count(j));
+            stats.peak_active = stats.peak_active.max(x.count(j));
+        }
+        prev = x.clone();
+    }
+    let horizon = schedule.len().max(1);
+    for stats in &mut per_type {
+        stats.mean_active = stats.active_server_slots as f64 / horizon as f64;
+    }
+    ScheduleStats {
+        per_type,
+        mean_utilization: if util_slots > 0 { util_sum / util_slots as f64 } else { 0.0 },
+        fully_off_slots: fully_off,
+        cost_per_volume: if total_volume > 0.0 {
+            total_operating / total_volume
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::server::ServerType;
+    use crate::util::approx_eq;
+
+    struct IdleOnly;
+    impl GtOracle for IdleOnly {
+        fn g(&self, instance: &Instance, t: usize, x: &[u32]) -> f64 {
+            x.iter()
+                .enumerate()
+                .map(|(j, &c)| f64::from(c) * instance.idle_cost(t, j))
+                .sum()
+        }
+        fn g_scaled(
+            &self,
+            instance: &Instance,
+            t: usize,
+            x: &[u32],
+            _lambda: f64,
+            s: f64,
+        ) -> f64 {
+            s * self.g(instance, t, x)
+        }
+    }
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::constant(1.0)))
+            .server_type(ServerType::new("b", 2, 5.0, 4.0, CostModel::constant(2.0)))
+            .loads(vec![1.0, 6.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let inst = instance();
+        let sched = Schedule::from_counts(vec![vec![1, 0], vec![2, 1], vec![0, 0]]);
+        let s = schedule_stats(&inst, &sched, &IdleOnly);
+        assert_eq!(s.per_type[0].active_server_slots, 3);
+        assert_eq!(s.per_type[0].power_ups, 2);
+        assert!(approx_eq(s.per_type[0].switching_cost, 4.0));
+        assert_eq!(s.per_type[1].power_ups, 1);
+        assert_eq!(s.per_type[0].peak_active, 2);
+        assert_eq!(s.fully_off_slots, 1);
+        // utilization: t0: 1/1, t1: 6/6 → mean 1.0 over slots with capacity
+        assert!(approx_eq(s.mean_utilization, 1.0));
+        // operating: t0: 1, t1: 2+2=4, t2: 0 → 5 over volume 7
+        assert!(approx_eq(s.cost_per_volume, 5.0 / 7.0));
+    }
+
+    #[test]
+    fn zero_volume_gives_infinite_cost_per_volume() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 1, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![0.0, 0.0])
+            .build()
+            .unwrap();
+        let sched = Schedule::from_counts(vec![vec![1], vec![0]]);
+        let s = schedule_stats(&inst, &sched, &IdleOnly);
+        assert!(s.cost_per_volume.is_infinite());
+        assert_eq!(s.fully_off_slots, 1);
+    }
+}

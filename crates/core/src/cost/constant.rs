@@ -1,0 +1,75 @@
+//! Load-independent operating cost.
+
+use super::CostFunction;
+
+/// `f(z) = c` for all loads `z`.
+///
+/// This is the special case studied in Albers & Quedenfeld (CIAC 2021): the
+/// operating cost depends neither on load nor time. Under this model the
+/// load-dependent part `L_{t,j}` of every schedule is zero and Algorithm A
+/// achieves the optimal competitive ratio `2d` (Corollary 9).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConstantCost {
+    cost: f64,
+}
+
+impl ConstantCost {
+    /// A constant cost of `cost ≥ 0` per active server per slot.
+    ///
+    /// # Panics
+    /// Panics if `cost` is negative or not finite.
+    #[must_use]
+    pub fn new(cost: f64) -> Self {
+        assert!(cost.is_finite() && cost >= 0.0, "constant cost must be finite and ≥ 0");
+        Self { cost }
+    }
+
+    /// The constant per-slot cost.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+impl CostFunction for ConstantCost {
+    fn eval(&self, _z: f64) -> f64 {
+        self.cost
+    }
+
+    fn deriv(&self, _z: f64) -> f64 {
+        0.0
+    }
+
+    fn deriv_inv(&self, slope: f64) -> Option<f64> {
+        // Derivative is identically zero: any positive target slope is
+        // never reached, so the optimal load under a marginal-cost cap is
+        // unbounded (capacity-limited); a non-positive slope forces z = 0.
+        Some(if slope >= 0.0 { f64::INFINITY } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_everywhere() {
+        let f = ConstantCost::new(3.5);
+        assert_eq!(f.eval(0.0), 3.5);
+        assert_eq!(f.eval(100.0), 3.5);
+        assert_eq!(f.deriv(5.0), 0.0);
+    }
+
+    #[test]
+    fn deriv_inv_boundaries() {
+        let f = ConstantCost::new(1.0);
+        assert_eq!(f.deriv_inv(0.5), Some(f64::INFINITY));
+        assert_eq!(f.deriv_inv(-0.5), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "constant cost")]
+    fn rejects_negative() {
+        let _ = ConstantCost::new(-1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Affine operating cost — energy proportional to utilization.
+
+use super::CostFunction;
+
+/// `f(z) = idle + rate·z`.
+///
+/// The classic power-proportionality model: an active server draws `idle`
+/// watts at zero load and `rate` additional watts per unit of load. With
+/// affine costs the dispatch problem has a closed-form greedy solution
+/// (route volume to the cheapest marginal rate first).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearCost {
+    idle: f64,
+    rate: f64,
+}
+
+impl LinearCost {
+    /// Affine cost with intercept `idle ≥ 0` and slope `rate ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if either parameter is negative or not finite.
+    #[must_use]
+    pub fn new(idle: f64, rate: f64) -> Self {
+        assert!(idle.is_finite() && idle >= 0.0, "idle cost must be finite and ≥ 0");
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and ≥ 0");
+        Self { idle, rate }
+    }
+
+    /// Idle cost `f(0)`.
+    #[must_use]
+    pub fn idle_cost(&self) -> f64 {
+        self.idle
+    }
+
+    /// Marginal cost per unit load.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl CostFunction for LinearCost {
+    fn eval(&self, z: f64) -> f64 {
+        self.idle + self.rate * z
+    }
+
+    fn deriv(&self, _z: f64) -> f64 {
+        self.rate
+    }
+
+    fn deriv_inv(&self, slope: f64) -> Option<f64> {
+        // Constant derivative `rate`: below it no load is worthwhile,
+        // at-or-above it load is capacity-limited.
+        Some(if slope >= self.rate { f64::INFINITY } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_deriv() {
+        let f = LinearCost::new(2.0, 3.0);
+        assert_eq!(f.eval(0.0), 2.0);
+        assert_eq!(f.eval(2.0), 8.0);
+        assert_eq!(f.deriv(7.0), 3.0);
+    }
+
+    #[test]
+    fn deriv_inv_threshold() {
+        let f = LinearCost::new(2.0, 3.0);
+        assert_eq!(f.deriv_inv(2.9), Some(0.0));
+        assert_eq!(f.deriv_inv(3.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn rejects_negative_rate() {
+        let _ = LinearCost::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Quadratic operating cost — linear power plus congestion penalty.
+
+use super::CostFunction;
+
+/// `f(z) = idle + a·z + b·z²` with `a, b ≥ 0`.
+///
+/// A common compromise between the affine and power-law models: the linear
+/// term captures energy proportionality, the quadratic term a smooth
+/// delay/congestion penalty as servers approach saturation. Its derivative
+/// has a closed-form inverse, making dispatch exact and fast.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuadraticCost {
+    idle: f64,
+    a: f64,
+    b: f64,
+}
+
+impl QuadraticCost {
+    /// Quadratic cost with intercept `idle ≥ 0` and coefficients
+    /// `a, b ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if any parameter is negative or not finite.
+    #[must_use]
+    pub fn new(idle: f64, a: f64, b: f64) -> Self {
+        assert!(idle.is_finite() && idle >= 0.0, "idle cost must be finite and ≥ 0");
+        assert!(a.is_finite() && a >= 0.0, "linear coefficient must be finite and ≥ 0");
+        assert!(b.is_finite() && b >= 0.0, "quadratic coefficient must be finite and ≥ 0");
+        Self { idle, a, b }
+    }
+
+    /// Idle cost `f(0)`.
+    #[must_use]
+    pub fn idle_cost(&self) -> f64 {
+        self.idle
+    }
+
+    /// Linear coefficient.
+    #[must_use]
+    pub fn linear_coef(&self) -> f64 {
+        self.a
+    }
+
+    /// Quadratic coefficient.
+    #[must_use]
+    pub fn quadratic_coef(&self) -> f64 {
+        self.b
+    }
+}
+
+impl CostFunction for QuadraticCost {
+    fn eval(&self, z: f64) -> f64 {
+        self.idle + self.a * z + self.b * z * z
+    }
+
+    fn deriv(&self, z: f64) -> f64 {
+        self.a + 2.0 * self.b * z
+    }
+
+    fn deriv_inv(&self, slope: f64) -> Option<f64> {
+        if self.b == 0.0 {
+            return Some(if slope >= self.a { f64::INFINITY } else { 0.0 });
+        }
+        // a + 2bz = slope  ⇒  z = (slope − a) / (2b), clamped at 0.
+        Some(((slope - self.a) / (2.0 * self.b)).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::approx_eq;
+
+    #[test]
+    fn eval_and_deriv() {
+        let f = QuadraticCost::new(1.0, 2.0, 0.5);
+        assert!(approx_eq(f.eval(2.0), 7.0));
+        assert!(approx_eq(f.deriv(2.0), 4.0));
+    }
+
+    #[test]
+    fn deriv_inv_round_trips() {
+        let f = QuadraticCost::new(1.0, 2.0, 0.5);
+        for z in [0.0, 0.3, 1.0, 4.0] {
+            let back = f.deriv_inv(f.deriv(z)).unwrap();
+            assert!(approx_eq(back, z));
+        }
+    }
+
+    #[test]
+    fn degenerates_to_linear_when_b_zero() {
+        let f = QuadraticCost::new(1.0, 2.0, 0.0);
+        assert_eq!(f.deriv_inv(1.9), Some(0.0));
+        assert_eq!(f.deriv_inv(2.0), Some(f64::INFINITY));
+    }
+}

@@ -1,0 +1,141 @@
+//! Time dependence of operating costs.
+
+use std::sync::Arc;
+
+use super::{CostModel, CostRef};
+
+/// How the operating cost of a server type varies over the time horizon.
+///
+/// Section 2 of the paper assumes time-*independent* costs
+/// ([`CostSpec::Uniform`]); Section 3 allows arbitrary per-slot functions.
+/// The intermediate [`CostSpec::Scaled`] form — one shape multiplied by a
+/// per-slot factor — captures the practically dominant source of time
+/// dependence (electricity spot prices) while staying cheap to evaluate.
+#[derive(Clone, Debug)]
+pub enum CostSpec {
+    /// The same cost function `f_j` in every slot (Section 2 setting).
+    Uniform(CostModel),
+    /// `f_{t,j}(z) = factors[t] · base(z)` — e.g. a price profile.
+    Scaled {
+        /// The underlying cost shape.
+        base: CostModel,
+        /// Per-slot multipliers, one per time slot, each ≥ 0.
+        factors: Arc<[f64]>,
+    },
+    /// Fully general per-slot cost functions (Section 3 setting).
+    PerSlot(Arc<[CostModel]>),
+}
+
+impl CostSpec {
+    /// Uniform spec from a model.
+    #[must_use]
+    pub fn uniform(model: CostModel) -> Self {
+        CostSpec::Uniform(model)
+    }
+
+    /// Scaled spec from a base model and per-slot factors.
+    ///
+    /// # Panics
+    /// Panics if any factor is negative or non-finite.
+    #[must_use]
+    pub fn scaled(base: CostModel, factors: impl Into<Arc<[f64]>>) -> Self {
+        let factors = factors.into();
+        for (t, &f) in factors.iter().enumerate() {
+            assert!(f.is_finite() && f >= 0.0, "scale factor at slot {t} must be finite and ≥ 0");
+        }
+        CostSpec::Scaled { base, factors }
+    }
+
+    /// Per-slot spec from a list of models (one per slot).
+    #[must_use]
+    pub fn per_slot(models: impl Into<Arc<[CostModel]>>) -> Self {
+        CostSpec::PerSlot(models.into())
+    }
+
+    /// The cost view for (0-based) slot `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is beyond the profile length of a time-varying spec.
+    #[inline]
+    #[must_use]
+    pub fn at(&self, t: usize) -> CostRef<'_> {
+        match self {
+            CostSpec::Uniform(m) => CostRef::new(m, 1.0),
+            CostSpec::Scaled { base, factors } => CostRef::new(base, factors[t]),
+            CostSpec::PerSlot(models) => CostRef::new(&models[t], 1.0),
+        }
+    }
+
+    /// `true` if the cost is identical in every slot (Algorithm A's
+    /// precondition).
+    #[must_use]
+    pub fn is_time_independent(&self) -> bool {
+        match self {
+            CostSpec::Uniform(_) => true,
+            CostSpec::Scaled { factors, .. } => {
+                factors.windows(2).all(|w| w[0] == w[1])
+            }
+            CostSpec::PerSlot(_) => false,
+        }
+    }
+
+    /// Number of slots the spec explicitly covers (`None` = unbounded).
+    #[must_use]
+    pub fn horizon(&self) -> Option<usize> {
+        match self {
+            CostSpec::Uniform(_) => None,
+            CostSpec::Scaled { factors, .. } => Some(factors.len()),
+            CostSpec::PerSlot(models) => Some(models.len()),
+        }
+    }
+}
+
+impl From<CostModel> for CostSpec {
+    fn from(model: CostModel) -> Self {
+        CostSpec::Uniform(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::approx_eq;
+
+    #[test]
+    fn uniform_is_time_independent() {
+        let s = CostSpec::uniform(CostModel::constant(2.0));
+        assert!(s.is_time_independent());
+        assert_eq!(s.horizon(), None);
+        assert!(approx_eq(s.at(0).idle(), 2.0));
+        assert!(approx_eq(s.at(99).idle(), 2.0));
+    }
+
+    #[test]
+    fn scaled_applies_per_slot_factor() {
+        let s = CostSpec::scaled(CostModel::linear(1.0, 1.0), vec![1.0, 2.0, 0.5]);
+        assert!(!s.is_time_independent());
+        assert_eq!(s.horizon(), Some(3));
+        assert!(approx_eq(s.at(1).eval(1.0), 4.0));
+        assert!(approx_eq(s.at(2).idle(), 0.5));
+    }
+
+    #[test]
+    fn constant_factors_count_as_time_independent() {
+        let s = CostSpec::scaled(CostModel::constant(1.0), vec![2.0, 2.0, 2.0]);
+        assert!(s.is_time_independent());
+    }
+
+    #[test]
+    fn per_slot_models() {
+        let s = CostSpec::per_slot(vec![CostModel::constant(1.0), CostModel::constant(5.0)]);
+        assert!(!s.is_time_independent());
+        assert!(approx_eq(s.at(0).idle(), 1.0));
+        assert!(approx_eq(s.at(1).idle(), 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_negative_factor() {
+        let _ = CostSpec::scaled(CostModel::constant(1.0), vec![-1.0]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # rsz-core — problem model for heterogeneous data-center right-sizing
+//!
+//! This crate defines the problem model of
+//! *Albers & Quedenfeld, "Algorithms for Right-Sizing Heterogeneous Data
+//! Centers", SPAA 2021* (arXiv:2107.14692):
+//!
+//! * a data center with `d` server **types**; type `j` has `m_j` servers,
+//!   power-up (switching) cost `β_j`, per-slot capacity `z^max_j`, and a
+//!   convex increasing per-server operating-cost function `f_{t,j}`,
+//! * a **problem instance** `I = (T, d, m, β, F, Λ)` supplying a job volume
+//!   `λ_t` for every time slot,
+//! * integral **schedules** `X = (x_1, …, x_T)` stating how many servers of
+//!   each type are active in each slot, with total cost
+//!   `C(X) = Σ_t [ g_t(x_t) + Σ_j β_j (x_{t,j} − x_{t−1,j})^+ ]`.
+//!
+//! The per-slot operating cost `g_t(x)` is itself an optimization problem
+//! (how to split `λ_t` across types); solving it is the job of the
+//! `rsz-dispatch` crate. This crate stays dependency-free and exposes the
+//! [`GtOracle`] trait so schedule costing can be computed against any
+//! dispatch solver.
+//!
+//! Time slots are **0-based** throughout the code base; the paper's slot `t`
+//! (1-based) corresponds to index `t − 1` here.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod cost;
+pub mod error;
+pub mod instance;
+pub mod objective;
+pub mod render;
+pub mod schedule;
+pub mod server;
+pub mod util;
+
+pub use config::Config;
+pub use cost::{CostFunction, CostModel, CostRef, CostSpec};
+pub use error::InstanceError;
+pub use instance::{Instance, InstanceBuilder};
+pub use objective::{CostBreakdown, GtOracle};
+pub use schedule::Schedule;
+pub use server::ServerType;
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::config::Config;
+    pub use crate::cost::{CostFunction, CostModel, CostRef, CostSpec};
+    pub use crate::error::InstanceError;
+    pub use crate::instance::{Instance, InstanceBuilder};
+    pub use crate::objective::{CostBreakdown, GtOracle};
+    pub use crate::schedule::Schedule;
+    pub use crate::server::ServerType;
+}

@@ -1,0 +1,125 @@
+//! ASCII rendering of schedules and traces — the figures of the paper as
+//! terminal output.
+//!
+//! Renders a per-type step chart of active servers over time (one row
+//! per count level, like Figures 1/3/5 of the paper) plus an optional
+//! load sparkline. Used by the examples and the experiment reports.
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Render one type's active counts as a step chart: one text row per
+/// count level (top = highest), `█` marking slots at-or-above the level.
+///
+/// ```text
+/// 3 |   ██
+/// 2 |  ████
+/// 1 | ██████ █
+///   +----------
+/// ```
+#[must_use]
+pub fn count_chart(counts: &[u32], label: &str) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mut out = String::new();
+    if max == 0 {
+        out.push_str(&format!("{label}: (always off)\n"));
+        return out;
+    }
+    let width = max.to_string().len();
+    for level in (1..=max).rev() {
+        out.push_str(&format!("{level:>width$} |"));
+        for &c in counts {
+            out.push(if c >= level { '█' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>width$} +", ""));
+    out.push_str(&"-".repeat(counts.len()));
+    out.push('\n');
+    out.push_str(&format!("{:>width$}  {label}\n", ""));
+    out
+}
+
+/// Render a load trace as a one-line sparkline using eighth-block
+/// characters, scaled to the trace's own peak.
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let peak = values.iter().copied().fold(0.0_f64, f64::max);
+    if peak <= 0.0 {
+        return " ".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / peak) * 8.0).round().clamp(0.0, 8.0) as usize;
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Render a whole schedule: load sparkline plus one step chart per type.
+#[must_use]
+pub fn schedule_chart(instance: &Instance, schedule: &Schedule) -> String {
+    let mut out = String::new();
+    out.push_str("load  ");
+    out.push_str(&sparkline(instance.loads()));
+    out.push('\n');
+    for j in 0..instance.num_types() {
+        let counts: Vec<u32> = (0..schedule.len()).map(|t| schedule.count(t, j)).collect();
+        out.push('\n');
+        out.push_str(&count_chart(&counts, &instance.types()[j].name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::server::ServerType;
+
+    #[test]
+    fn chart_shape() {
+        let s = count_chart(&[1, 2, 2, 0, 3], "t0");
+        let lines: Vec<&str> = s.lines().collect();
+        // 3 levels + axis + label
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains('█'));
+        assert!(lines[0].starts_with('3'));
+        assert!(lines[2].starts_with('1'));
+        // level-1 row marks slots 0,1,2,4 but not 3
+        let row1 = lines[2];
+        let cells: Vec<char> = row1.chars().skip(row1.find('|').unwrap() + 1).collect();
+        assert_eq!(cells, vec!['█', '█', '█', ' ', '█']);
+    }
+
+    #[test]
+    fn chart_all_off() {
+        assert!(count_chart(&[0, 0], "x").contains("always off"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_peak() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '█');
+        assert_eq!(sparkline(&[0.0, 0.0]), "  ");
+    }
+
+    #[test]
+    fn full_schedule_chart() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 2, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![1.0, 2.0, 0.0])
+            .build()
+            .unwrap();
+        let sched = Schedule::from_counts(vec![vec![1], vec![2], vec![0]]);
+        let s = schedule_chart(&inst, &sched);
+        assert!(s.contains("load"));
+        assert!(s.contains('a'));
+        assert!(s.contains('█'));
+    }
+}

@@ -1,0 +1,96 @@
+//! Server types — the heterogeneous building blocks of the data center.
+
+use crate::cost::{CostModel, CostSpec};
+
+/// One of the `d` server types of the data center.
+///
+/// Carries everything the paper attaches to type `j`: the fleet size `m_j`,
+/// the power-up cost `β_j`, the per-slot capacity `z^max_j`, and the
+/// (possibly time-dependent) operating-cost function `f_{t,j}`.
+#[derive(Clone, Debug)]
+pub struct ServerType {
+    /// Human-readable label used in reports ("gpu-node", "legacy-xeon"…).
+    pub name: String,
+    /// Fleet size `m_j`: how many servers of this type exist.
+    pub count: u32,
+    /// Switching cost `β_j ≥ 0` paid for each power-up. Power-downs are
+    /// free; the paper folds their cost into `β_j`.
+    pub switching_cost: f64,
+    /// Capacity `z^max_j > 0`: maximum job volume one server processes in
+    /// a single slot.
+    pub capacity: f64,
+    /// Operating-cost specification `f_{t,j}`.
+    pub cost: CostSpec,
+}
+
+impl ServerType {
+    /// A server type with a time-independent cost model.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        count: u32,
+        switching_cost: f64,
+        capacity: f64,
+        cost: CostModel,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            count,
+            switching_cost,
+            capacity,
+            cost: CostSpec::Uniform(cost),
+        }
+    }
+
+    /// A server type with an explicit (possibly time-dependent) cost spec.
+    #[must_use]
+    pub fn with_spec(
+        name: impl Into<String>,
+        count: u32,
+        switching_cost: f64,
+        capacity: f64,
+        cost: CostSpec,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            count,
+            switching_cost,
+            capacity,
+            cost,
+        }
+    }
+
+    /// Idle operating cost `f_{t,j}(0)` at slot `t` — the paper's `l_{t,j}`.
+    #[must_use]
+    pub fn idle_cost(&self, t: usize) -> f64 {
+        self.cost.at(t).idle()
+    }
+
+    /// Total capacity of the whole fleet of this type: `m_j · z^max_j`.
+    #[must_use]
+    pub fn fleet_capacity(&self) -> f64 {
+        f64::from(self.count) * self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::approx_eq;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = ServerType::new("cpu", 10, 6.0, 1.5, CostModel::linear(1.0, 2.0));
+        assert_eq!(s.count, 10);
+        assert!(approx_eq(s.idle_cost(0), 1.0));
+        assert!(approx_eq(s.fleet_capacity(), 15.0));
+    }
+
+    #[test]
+    fn time_dependent_idle_cost() {
+        let spec = CostSpec::scaled(CostModel::constant(2.0), vec![1.0, 3.0]);
+        let s = ServerType::with_spec("gpu", 4, 10.0, 4.0, spec);
+        assert!(approx_eq(s.idle_cost(0), 2.0));
+        assert!(approx_eq(s.idle_cost(1), 6.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Small numeric helpers shared across the workspace.
+//!
+//! Costs are `f64` throughout; infeasible configurations carry cost
+//! `f64::INFINITY`. Comparisons between independently computed costs must
+//! tolerate floating-point noise, so every cross-check in tests and
+//! experiments goes through the helpers in this module.
+
+/// Default relative tolerance for cost comparisons.
+pub const REL_TOL: f64 = 1e-9;
+/// Default absolute tolerance for cost comparisons.
+pub const ABS_TOL: f64 = 1e-9;
+
+/// `true` if `a` and `b` are equal up to the default tolerances.
+///
+/// Infinities compare equal to themselves, which matters when comparing
+/// infeasible-configuration costs produced by different code paths.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, REL_TOL, ABS_TOL)
+}
+
+/// `true` if `a` and `b` are equal up to the given tolerances.
+#[must_use]
+pub fn approx_eq_tol(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    if a == b {
+        return true; // covers equal infinities and exact hits
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    diff <= abs || diff <= rel * a.abs().max(b.abs())
+}
+
+/// `true` if `a ≤ b` up to the default tolerances (i.e. `a` is not
+/// significantly greater than `b`).
+#[must_use]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b || approx_eq(a, b)
+}
+
+/// `true` if `a ≥ b` up to the default tolerances.
+#[must_use]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    b <= a || approx_eq(a, b)
+}
+
+/// Numerically careful sum of a slice (Neumaier's variant of Kahan
+/// summation). The DP tables accumulate costs over thousands of slots, so
+/// plain summation noise would leak into oracle comparisons.
+#[must_use]
+pub fn stable_sum(values: &[f64]) -> f64 {
+    let mut sum = 0.0_f64;
+    let mut comp = 0.0_f64; // running compensation
+    for &v in values {
+        let t = sum + v;
+        if sum.abs() >= v.abs() {
+            comp += (sum - t) + v;
+        } else {
+            comp += (v - t) + sum;
+        }
+        sum = t;
+    }
+    sum + comp
+}
+
+/// Positive part `(x)^+ = max(x, 0)` for switching-cost expressions.
+#[inline]
+#[must_use]
+pub fn pos(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Positive difference of two `u32` counts as `f64`: `(a − b)^+`.
+#[inline]
+#[must_use]
+pub fn pos_diff(a: u32, b: u32) -> f64 {
+    a.saturating_sub(b) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.001));
+        assert!(approx_eq(0.0, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_infinities() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq(f64::INFINITY, 1.0));
+        assert!(!approx_eq(f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn approx_le_ge() {
+        assert!(approx_le(1.0, 2.0));
+        assert!(approx_le(2.0, 2.0 - 1e-13));
+        assert!(!approx_le(2.1, 2.0));
+        assert!(approx_ge(2.0, 1.0));
+        assert!(approx_ge(1.0, 1.0 + 1e-13));
+    }
+
+    #[test]
+    fn stable_sum_matches_naive_on_small_input() {
+        let v = [1.0, 2.0, 3.5];
+        assert_eq!(stable_sum(&v), 6.5);
+    }
+
+    #[test]
+    fn stable_sum_is_more_accurate_than_naive() {
+        // 1 + 2^-60 repeated: naive sum drops the tiny addend entirely.
+        let mut v = vec![1.0];
+        let tiny = (2.0_f64).powi(-60);
+        v.extend(std::iter::repeat_n(tiny, 1 << 16));
+        let expected = 1.0 + tiny * (1 << 16) as f64;
+        let got = stable_sum(&v);
+        assert!(approx_eq_tol(got, expected, 1e-15, 0.0), "{got} vs {expected}");
+    }
+
+    #[test]
+    fn pos_helpers() {
+        assert_eq!(pos(3.0), 3.0);
+        assert_eq!(pos(-3.0), 0.0);
+        assert_eq!(pos_diff(5, 3), 2.0);
+        assert_eq!(pos_diff(3, 5), 0.0);
+    }
+}

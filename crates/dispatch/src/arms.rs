@@ -1,0 +1,206 @@
+//! Dispatch "arms": one per server type with active servers.
+
+use rsz_core::{CostModel, CostRef, Instance};
+
+/// One server type as seen by the dispatch solvers: `count` active servers
+/// sharing load evenly, a volume capacity, and the slot's cost view.
+#[derive(Clone, Copy, Debug)]
+pub struct Arm<'a> {
+    /// Index of the server type in the instance (for mapping back).
+    pub type_index: usize,
+    /// Active servers `x_j > 0`.
+    pub count: u32,
+    /// Per-server capacity `z^max_j`.
+    pub zmax: f64,
+    /// Cost view `f_{t,j}` for the slot.
+    pub cost: CostRef<'a>,
+}
+
+impl<'a> Arm<'a> {
+    /// Total volume capacity of this arm: `x_j · z^max_j`.
+    #[inline]
+    #[must_use]
+    pub fn cap(&self) -> f64 {
+        f64::from(self.count) * self.zmax
+    }
+
+    /// Total idle cost when this arm carries no load: `x_j · f_{t,j}(0)`.
+    #[inline]
+    #[must_use]
+    pub fn idle_total(&self) -> f64 {
+        f64::from(self.count) * self.cost.idle()
+    }
+
+    /// Total cost of routing volume `y ∈ [0, cap]` to this arm:
+    /// `Φ_j(y) = x_j · f_{t,j}(y / x_j)`.
+    #[inline]
+    #[must_use]
+    pub fn phi(&self, y: f64) -> f64 {
+        let x = f64::from(self.count);
+        x * self.cost.eval(y / x)
+    }
+
+    /// Marginal cost `Φ_j'(y) = f_{t,j}'(y / x_j)`.
+    #[inline]
+    #[must_use]
+    pub fn phi_deriv(&self, y: f64) -> f64 {
+        self.cost.deriv(y / f64::from(self.count))
+    }
+
+    /// `true` if the underlying cost model is constant or affine, so the
+    /// marginal cost does not depend on the allocated volume.
+    #[must_use]
+    pub fn is_affine(&self) -> bool {
+        matches!(self.cost.model(), CostModel::Constant(_) | CostModel::Linear(_))
+            || self.cost.scale() == 0.0
+    }
+
+    /// Constant marginal rate for affine arms (`0` for constant costs).
+    #[must_use]
+    pub fn affine_rate(&self) -> f64 {
+        debug_assert!(self.is_affine());
+        if self.cost.scale() == 0.0 {
+            return 0.0;
+        }
+        match self.cost.model() {
+            CostModel::Constant(_) => 0.0,
+            CostModel::Linear(l) => self.cost.scale() * l.rate(),
+            _ => unreachable!("affine_rate on non-affine arm"),
+        }
+    }
+
+    /// Largest per-arm volume `y` with marginal cost ≤ `nu`, clamped to
+    /// the capacity. Uses the model's closed-form inverse derivative when
+    /// available, otherwise bisects.
+    #[must_use]
+    pub fn volume_at_price(&self, nu: f64, tol: f64, max_iter: usize) -> f64 {
+        let cap = self.cap();
+        if cap == 0.0 {
+            return 0.0;
+        }
+        let x = f64::from(self.count);
+        if let Some(z) = self.cost.deriv_inv(nu) {
+            return (z * x).clamp(0.0, cap);
+        }
+        // Bisection for sup { y : Φ'(y) ≤ nu } on [0, cap].
+        if self.phi_deriv(0.0) > nu {
+            return 0.0;
+        }
+        if self.phi_deriv(cap) <= nu {
+            return cap;
+        }
+        let (mut lo, mut hi) = (0.0_f64, cap);
+        for _ in 0..max_iter {
+            let mid = 0.5 * (lo + hi);
+            if self.phi_deriv(mid) <= nu {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= tol * cap.max(1.0) {
+                break;
+            }
+        }
+        lo
+    }
+}
+
+/// Build the arm list for configuration `x` at slot `t`. Types with zero
+/// active servers are skipped (they can carry no volume).
+#[must_use]
+pub fn collect<'a>(instance: &'a Instance, t: usize, x: &[u32]) -> Vec<Arm<'a>> {
+    debug_assert_eq!(x.len(), instance.num_types());
+    x.iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(j, &c)| Arm {
+            type_index: j,
+            count: c,
+            zmax: instance.capacity(j),
+            cost: instance.cost(t, j),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsz_core::{CostModel, ServerType};
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("lin", 4, 1.0, 2.0, CostModel::linear(1.0, 3.0)))
+            .server_type(ServerType::new("pow", 2, 1.0, 4.0, CostModel::power(2.0, 1.0, 2.0)))
+            .loads(vec![1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn collect_skips_inactive_types() {
+        let inst = instance();
+        let arms = collect(&inst, 0, &[0, 2]);
+        assert_eq!(arms.len(), 1);
+        assert_eq!(arms[0].type_index, 1);
+        assert_eq!(arms[0].cap(), 8.0);
+    }
+
+    #[test]
+    fn phi_spreads_load_evenly() {
+        let inst = instance();
+        let arms = collect(&inst, 0, &[2, 0]);
+        let a = &arms[0];
+        // Φ(y) = 2 · (1 + 3·(y/2)) = 2 + 3y
+        assert!((a.phi(0.0) - 2.0).abs() < 1e-12);
+        assert!((a.phi(2.0) - 8.0).abs() < 1e-12);
+        assert!((a.phi_deriv(1.0) - 3.0).abs() < 1e-12);
+        assert!(a.is_affine());
+        assert!((a.affine_rate() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_at_price_power_cost() {
+        let inst = instance();
+        let arms = collect(&inst, 0, &[0, 2]);
+        let a = &arms[0];
+        assert!(!a.is_affine());
+        // f(z) = 2 + z², f'(z) = 2z, so f'(z) ≤ nu ⇔ z ≤ nu/2; with 2
+        // servers y = 2z = nu.
+        let y = a.volume_at_price(3.0, 1e-12, 100);
+        assert!((y - 3.0).abs() < 1e-9, "{y}");
+        // capped at 8
+        assert_eq!(a.volume_at_price(100.0, 1e-12, 100), 8.0);
+        // zero below f'(0)=0 → exactly 0 at negative price
+        assert_eq!(a.volume_at_price(-1.0, 1e-12, 100), 0.0);
+    }
+
+    #[test]
+    fn volume_at_price_bisection_path() {
+        // Custom cost without deriv_inv forces the bisection branch.
+        use rsz_core::CostFunction;
+        #[derive(Debug)]
+        struct Quad;
+        impl CostFunction for Quad {
+            fn eval(&self, z: f64) -> f64 {
+                z * z
+            }
+            fn deriv(&self, z: f64) -> f64 {
+                2.0 * z
+            }
+        }
+        let inst = Instance::builder()
+            .server_type(ServerType::new(
+                "c",
+                2,
+                1.0,
+                4.0,
+                CostModel::Custom(std::sync::Arc::new(Quad)),
+            ))
+            .loads(vec![1.0])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[2]);
+        let y = arms[0].volume_at_price(3.0, 1e-12, 200);
+        assert!((y - 3.0).abs() < 1e-6, "{y}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Marginal-cost equalization for general convex costs.
+//!
+//! The KKT conditions of the separable problem say an allocation `y` is
+//! optimal iff there is a price `ν` with
+//!
+//! * `Φ_j'(y_j) = ν` wherever `0 < y_j < cap_j`,
+//! * `Φ_j'(0) ≥ ν` wherever `y_j = 0`,
+//! * `Φ_j'(cap_j) ≤ ν` wherever `y_j = cap_j`.
+//!
+//! Define `y_j(ν) = sup { y ≤ cap_j : Φ_j'(y) ≤ ν }` (computed by
+//! [`crate::Arm::volume_at_price`]). The total `Y(ν) = Σ_j y_j(ν)` is
+//! non-decreasing, so we bisect `ν` until `Y(ν) = λ`.
+//!
+//! `Y` can jump at prices where some `Φ_j'` is flat (piecewise-linear
+//! costs): after the bisection we blend the allocations just below and at
+//! the final price so the volume constraint holds exactly. All arms
+//! touched by the blend have the same marginal cost, so the blend does not
+//! change optimality.
+
+use crate::arms::Arm;
+use crate::solution::DispatchSolution;
+
+/// Solve the dispatch problem for arbitrary convex arms with
+/// `0 < lambda ≤ Σ cap_j`.
+#[must_use]
+pub fn solve(arms: &[Arm<'_>], lambda: f64, tol: f64, max_iter: usize) -> DispatchSolution {
+    // Price bracket: at nu_lo no volume is placed, at nu_hi everything is.
+    let mut nu_lo = -1.0_f64;
+    let mut nu_hi = 1.0_f64;
+    {
+        // Grow nu_hi until all capacity is willing to run.
+        let mut guard = 0;
+        while total_volume(arms, nu_hi, tol, max_iter) < lambda && guard < 128 {
+            nu_hi *= 2.0;
+            guard += 1;
+        }
+    }
+
+    for _ in 0..max_iter {
+        let mid = 0.5 * (nu_lo + nu_hi);
+        if total_volume(arms, mid, tol, max_iter) >= lambda {
+            nu_hi = mid;
+        } else {
+            nu_lo = mid;
+        }
+        if nu_hi - nu_lo <= tol * nu_hi.abs().max(1.0) {
+            break;
+        }
+    }
+
+    // Allocations just below the critical price and at it.
+    let y_hi: Vec<f64> = arms.iter().map(|a| a.volume_at_price(nu_hi, tol, max_iter)).collect();
+    let y_lo: Vec<f64> = arms.iter().map(|a| a.volume_at_price(nu_lo, tol, max_iter)).collect();
+    let sum_hi: f64 = y_hi.iter().sum();
+    let sum_lo: f64 = y_lo.iter().sum();
+
+    let volumes: Vec<f64> = if sum_hi - sum_lo > 1e-15 {
+        let theta = ((lambda - sum_lo) / (sum_hi - sum_lo)).clamp(0.0, 1.0);
+        y_lo.iter().zip(&y_hi).map(|(&lo, &hi)| lo + theta * (hi - lo)).collect()
+    } else if sum_hi > 0.0 {
+        // Continuous case: rescale the tiny residual mismatch away.
+        let scale = lambda / sum_hi;
+        y_hi.iter().map(|&y| y * scale).collect()
+    } else {
+        y_hi
+    };
+
+    // Clamp and compute the final cost from the allocation itself.
+    let mut vols = volumes;
+    for (v, a) in vols.iter_mut().zip(arms) {
+        *v = v.clamp(0.0, a.cap());
+    }
+    distribute_residual(&mut vols, arms, lambda);
+    let cost = vols.iter().zip(arms).map(|(&y, a)| a.phi(y)).sum();
+    DispatchSolution::new(cost, vols)
+}
+
+fn total_volume(arms: &[Arm<'_>], nu: f64, tol: f64, max_iter: usize) -> f64 {
+    arms.iter().map(|a| a.volume_at_price(nu, tol, max_iter)).sum()
+}
+
+/// Push any residual `lambda − Σ y` (numerical leftovers) onto arms with
+/// spare capacity so the volume constraint holds to machine precision.
+fn distribute_residual(vols: &mut [f64], arms: &[Arm<'_>], lambda: f64) {
+    let mut residual = lambda - vols.iter().sum::<f64>();
+    if residual.abs() <= 1e-12 * lambda.max(1.0) {
+        return;
+    }
+    if residual > 0.0 {
+        for (v, a) in vols.iter_mut().zip(arms) {
+            let spare = a.cap() - *v;
+            let take = residual.min(spare);
+            *v += take;
+            residual -= take;
+            if residual <= 0.0 {
+                break;
+            }
+        }
+    } else {
+        for v in vols.iter_mut() {
+            let give = (-residual).min(*v);
+            *v -= give;
+            residual += give;
+            if residual >= 0.0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arms::collect;
+    use rsz_core::{CostModel, Instance, ServerType};
+
+    #[test]
+    fn equalizes_marginal_costs_on_smooth_arms() {
+        // Two quadratic types; optimum has equal marginal cost.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 2, 1.0, 10.0, CostModel::power(0.0, 1.0, 2.0)))
+            .server_type(ServerType::new("b", 1, 1.0, 10.0, CostModel::power(0.0, 2.0, 2.0)))
+            .loads(vec![3.0])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[2, 1]);
+        let sol = solve(&arms, 3.0, 1e-12, 200);
+        let m0 = arms[0].phi_deriv(sol.volumes[0]);
+        let m1 = arms[1].phi_deriv(sol.volumes[1]);
+        assert!((m0 - m1).abs() < 1e-6, "marginals {m0} vs {m1}");
+        let total: f64 = sol.volumes.iter().sum();
+        assert!((total - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_capacity_saturation() {
+        // Cheap arm saturates; remainder flows to expensive arm.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("small", 1, 1.0, 1.0, CostModel::power(0.0, 1.0, 2.0)))
+            .server_type(ServerType::new("big", 1, 1.0, 10.0, CostModel::power(0.0, 10.0, 2.0)))
+            .loads(vec![5.0])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[1, 1]);
+        let sol = solve(&arms, 5.0, 1e-12, 200);
+        let total: f64 = sol.volumes.iter().sum();
+        assert!((total - 5.0).abs() < 1e-9);
+        assert!(sol.volumes[0] <= 1.0 + 1e-9);
+        // KKT at saturation: Φ'_small(cap) ≤ ν = Φ'_big(y_big)
+        assert!(arms[0].phi_deriv(sol.volumes[0]) <= arms[1].phi_deriv(sol.volumes[1]) + 1e-6);
+    }
+
+    #[test]
+    fn piecewise_flat_derivative_blend() {
+        use rsz_core::cost::PiecewiseLinearCost;
+        // Two identical piecewise-linear arms with a long flat-slope
+        // segment: many optima; solver must still hit the volume exactly.
+        let pwl = CostModel::PiecewiseLinear(PiecewiseLinearCost::new(&[
+            (0.0, 1.0),
+            (1.0, 2.0),
+            (4.0, 5.0), // slope 1 on [1,4]
+        ]));
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 1, 1.0, 4.0, pwl.clone()))
+            .server_type(ServerType::new("b", 1, 1.0, 4.0, pwl))
+            .loads(vec![5.0])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[1, 1]);
+        let sol = solve(&arms, 5.0, 1e-12, 200);
+        let total: f64 = sol.volumes.iter().sum();
+        assert!((total - 5.0).abs() < 1e-9, "{:?}", sol.volumes);
+        // cost = idle 2 + slope-1 volume (5) = 7 exactly (both slopes 1)
+        assert!((sol.cost - 7.0).abs() < 1e-6, "{}", sol.cost);
+    }
+
+    #[test]
+    fn single_arm_forced_allocation() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("only", 3, 1.0, 2.0, CostModel::power(1.0, 2.0, 3.0)))
+            .loads(vec![4.5])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[3]);
+        let sol = solve(&arms, 4.5, 1e-12, 200);
+        assert!((sol.volumes[0] - 4.5).abs() < 1e-9);
+        // cost = 3·(1 + 2·(1.5)³)
+        let expected = 3.0 * (1.0 + 2.0 * 1.5_f64.powi(3));
+        assert!((sol.cost - expected).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,53 @@
+//! Dispatch solver output.
+
+/// Result of a dispatch solve: the optimal operating cost and the volume
+/// routed to each *arm* (types with zero active servers are not arms; use
+/// [`DispatchSolution::volumes_by_type`] to expand back to `d` entries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DispatchSolution {
+    /// Optimal operating cost `g_t(x)`; `f64::INFINITY` when infeasible.
+    pub cost: f64,
+    /// Volume `y_j` routed to each arm, aligned with the arm list.
+    pub volumes: Vec<f64>,
+}
+
+impl DispatchSolution {
+    /// A feasible solution.
+    #[must_use]
+    pub fn new(cost: f64, volumes: Vec<f64>) -> Self {
+        Self { cost, volumes }
+    }
+
+    /// The infeasible solution (capacity insufficient for the volume).
+    #[must_use]
+    pub fn infeasible(num_arms: usize) -> Self {
+        Self { cost: f64::INFINITY, volumes: vec![0.0; num_arms] }
+    }
+
+    /// `true` if the configuration could serve the load.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.cost.is_finite()
+    }
+
+    /// Expand arm volumes back to a `d`-length per-type vector.
+    #[must_use]
+    pub fn volumes_by_type(&self, arms: &[crate::Arm<'_>], d: usize) -> Vec<f64> {
+        let mut out = vec![0.0; d];
+        for (arm, &y) in arms.iter().zip(&self.volumes) {
+            out[arm.type_index] = y;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasibility_flag() {
+        assert!(DispatchSolution::new(1.0, vec![]).is_feasible());
+        assert!(!DispatchSolution::infeasible(2).is_feasible());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the dispatch solvers: the KKT and greedy
+//! paths are validated against the dense grid-search oracle and against
+//! each other, plus structural optimality conditions.
+
+use proptest::prelude::*;
+use rsz_core::{CostModel, Instance, ServerType};
+use rsz_dispatch::{arms, brute, Dispatcher};
+
+#[derive(Clone, Debug)]
+struct ArmSpec {
+    count: u32,
+    zmax: f64,
+    model: CostModel,
+}
+
+fn arm_strategy() -> impl Strategy<Value = ArmSpec> {
+    let model = prop_oneof![
+        (0.1..3.0_f64).prop_map(CostModel::constant),
+        (0.0..2.0_f64, 0.0..4.0_f64).prop_map(|(i, r)| CostModel::linear(i, r)),
+        (0.0..2.0_f64, 0.1..2.0_f64, 1.2..3.0_f64)
+            .prop_map(|(i, c, a)| CostModel::power(i, c, a)),
+        (0.0..2.0_f64, 0.0..2.0_f64, 0.1..1.5_f64)
+            .prop_map(|(i, a, b)| CostModel::quadratic(i, a, b)),
+    ];
+    (1u32..4, 0.5..4.0_f64, model).prop_map(|(count, zmax, model)| ArmSpec {
+        count,
+        zmax,
+        model,
+    })
+}
+
+fn build_instance(specs: &[ArmSpec]) -> Instance {
+    let types: Vec<ServerType> = specs
+        .iter()
+        .enumerate()
+        .map(|(j, s)| ServerType::new(format!("t{j}"), s.count, 1.0, s.zmax, s.model.clone()))
+        .collect();
+    Instance::builder()
+        .server_types(types)
+        .loads(vec![0.0]) // loads are passed explicitly to the solver
+        .build()
+        .expect("valid dispatch test instance")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production solver never exceeds the grid-search oracle (which
+    /// over-estimates the optimum by its grid resolution) and is never
+    /// more than the grid resolution below it.
+    #[test]
+    fn solver_matches_brute_oracle(specs in prop::collection::vec(arm_strategy(), 1..3), frac in 0.05..0.99_f64) {
+        let inst = build_instance(&specs);
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let arm_list = arms::collect(&inst, 0, &counts);
+        let cap: f64 = arm_list.iter().map(|a| a.cap()).sum();
+        let lambda = frac * cap;
+        let solver = Dispatcher::new().solve_arms(&arm_list, lambda);
+        let oracle = brute::solve(&arm_list, lambda, 600);
+        prop_assert!(solver.is_feasible());
+        prop_assert!(
+            solver.cost <= oracle.cost + 1e-6 * oracle.cost.abs().max(1.0),
+            "solver {} worse than grid oracle {}", solver.cost, oracle.cost
+        );
+        prop_assert!(
+            solver.cost >= oracle.cost - 0.05 * oracle.cost.abs().max(0.1),
+            "solver {} suspiciously below grid oracle {}", solver.cost, oracle.cost
+        );
+    }
+
+    /// The returned allocation is primal feasible: volumes within
+    /// capacity and summing to λ.
+    #[test]
+    fn allocation_is_primal_feasible(specs in prop::collection::vec(arm_strategy(), 1..4), frac in 0.0..1.0_f64) {
+        let inst = build_instance(&specs);
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let arm_list = arms::collect(&inst, 0, &counts);
+        let cap: f64 = arm_list.iter().map(|a| a.cap()).sum();
+        let lambda = frac * cap;
+        let sol = Dispatcher::new().solve_arms(&arm_list, lambda);
+        prop_assert!(sol.is_feasible());
+        let total: f64 = sol.volumes.iter().sum();
+        prop_assert!((total - lambda).abs() <= 1e-6 * lambda.max(1.0), "Σy = {total} ≠ λ = {lambda}");
+        for (y, a) in sol.volumes.iter().zip(&arm_list) {
+            prop_assert!(*y >= -1e-12 && *y <= a.cap() + 1e-9);
+        }
+    }
+
+    /// KKT stationarity: marginal costs of interior arms agree, and
+    /// boundary arms satisfy the complementary inequalities.
+    #[test]
+    fn kkt_conditions_hold(specs in prop::collection::vec(arm_strategy(), 2..4), frac in 0.1..0.9_f64) {
+        let inst = build_instance(&specs);
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let arm_list = arms::collect(&inst, 0, &counts);
+        let cap: f64 = arm_list.iter().map(|a| a.cap()).sum();
+        let lambda = frac * cap;
+        let sol = Dispatcher::new().solve_arms(&arm_list, lambda);
+        // Price = max marginal among arms carrying volume.
+        let mut nu: f64 = 0.0;
+        for (y, a) in sol.volumes.iter().zip(&arm_list) {
+            if *y > 1e-9 {
+                nu = nu.max(a.phi_deriv(*y * (1.0 - 1e-9)));
+            }
+        }
+        for (y, a) in sol.volumes.iter().zip(&arm_list) {
+            if *y < a.cap() - 1e-9 {
+                // not saturated ⇒ marginal at y must be ≥ ν − tol (else
+                // moving volume here would reduce cost).
+                prop_assert!(
+                    a.phi_deriv(*y) >= nu - 1e-4 * nu.abs().max(1.0),
+                    "arm could absorb cheaper volume: φ'({y}) = {} < ν = {nu}",
+                    a.phi_deriv(*y)
+                );
+            }
+        }
+    }
+
+    /// Perturbing the optimal allocation never reduces the cost
+    /// (first-order optimality via random feasible exchange moves).
+    #[test]
+    fn exchange_moves_never_improve(
+        specs in prop::collection::vec(arm_strategy(), 2..4),
+        frac in 0.1..0.9_f64,
+        from in 0usize..4,
+        to in 0usize..4,
+        delta_frac in 0.01..0.5_f64,
+    ) {
+        let inst = build_instance(&specs);
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let arm_list = arms::collect(&inst, 0, &counts);
+        let n = arm_list.len();
+        let (from, to) = (from % n, to % n);
+        prop_assume!(from != to);
+        let cap: f64 = arm_list.iter().map(|a| a.cap()).sum();
+        let lambda = frac * cap;
+        let sol = Dispatcher::new().solve_arms(&arm_list, lambda);
+        let mut vols = sol.volumes.clone();
+        let room = (arm_list[to].cap() - vols[to]).min(vols[from]);
+        let delta = delta_frac * room;
+        prop_assume!(delta > 1e-12);
+        vols[from] -= delta;
+        vols[to] += delta;
+        let new_cost: f64 = vols.iter().zip(&arm_list).map(|(&y, a)| a.phi(y)).sum();
+        prop_assert!(
+            new_cost >= sol.cost - 1e-6 * sol.cost.abs().max(1.0),
+            "exchange improved cost: {new_cost} < {}", sol.cost
+        );
+    }
+
+    /// Cost is monotone in λ: more volume never costs less.
+    #[test]
+    fn cost_monotone_in_volume(specs in prop::collection::vec(arm_strategy(), 1..3), f1 in 0.0..1.0_f64, f2 in 0.0..1.0_f64) {
+        let inst = build_instance(&specs);
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let arm_list = arms::collect(&inst, 0, &counts);
+        let cap: f64 = arm_list.iter().map(|a| a.cap()).sum();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let d = Dispatcher::new();
+        let c_lo = d.solve_arms(&arm_list, lo * cap).cost;
+        let c_hi = d.solve_arms(&arm_list, hi * cap).cost;
+        prop_assert!(c_lo <= c_hi + 1e-6 * c_hi.abs().max(1.0), "{c_lo} > {c_hi}");
+    }
+}

@@ -1,0 +1,351 @@
+//! The offline dynamic program (Section 4.1 / 4.2 / 4.3).
+//!
+//! Computes, for every slot `t` and every configuration `x` on the slot's
+//! candidate grid,
+//!
+//! ```text
+//! OPT_t(x) = g_t(x) + min_{x'} [ OPT_{t−1}(x') + Σ_j β_j (x_j − x'_j)^+ ]
+//! ```
+//!
+//! with `OPT_0` concentrated at the all-off origin. The inner minimum is
+//! the separable power-up metric, so it is computed with the linear-time
+//! [`crate::transform`] passes; the overall cost is
+//! `O(T · |grid| · d)` plus one dispatch solve per cell.
+//!
+//! * With [`GridMode::Full`] this is the paper's **exact** algorithm
+//!   (optimal schedule, Section 4.1),
+//! * with [`GridMode::Gamma`] it optimizes exactly over the reduced
+//!   schedule space `M^γ`, which by Theorem 16 is a `(2γ−1)`-approximation
+//!   of the unrestricted optimum,
+//! * per-slot grids automatically track time-varying fleet sizes
+//!   `m_{t,j}` (Section 4.3).
+
+use rsz_core::{Config, GtOracle, Instance, Schedule};
+
+use crate::grid::GridMode;
+use crate::parallel::fill_cells;
+use crate::table::Table;
+use crate::transform::arrival_transform;
+
+/// Options for the offline DP.
+#[derive(Clone, Copy, Debug)]
+pub struct DpOptions {
+    /// Candidate-grid discretization.
+    pub grid: GridMode,
+    /// Parallelize the per-cell dispatch solves across threads.
+    pub parallel: bool,
+}
+
+impl Default for DpOptions {
+    fn default() -> Self {
+        Self { grid: GridMode::Full, parallel: true }
+    }
+}
+
+/// Result of an offline solve.
+#[derive(Clone, Debug)]
+pub struct DpResult {
+    /// Total cost `C(X)` of the computed schedule.
+    pub cost: f64,
+    /// The computed schedule (optimal over the chosen grid).
+    pub schedule: Schedule,
+}
+
+/// Solve `instance` to optimality over the chosen grid and recover the
+/// schedule.
+///
+/// # Panics
+/// Panics if the instance is infeasible (cannot happen for instances
+/// built through [`Instance::builder`], which validates feasibility).
+#[must_use]
+pub fn solve(instance: &Instance, oracle: &(impl GtOracle + Sync), options: DpOptions) -> DpResult {
+    let tables = forward_tables(instance, oracle, options);
+    backtrack(instance, &tables)
+}
+
+/// Optimal cost only, O(|grid|) memory (no schedule recovery).
+#[must_use]
+pub fn solve_cost_only(
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    options: DpOptions,
+) -> f64 {
+    let d = instance.num_types();
+    let betas = betas(instance);
+    let mut prev = Table::origin(d);
+    for t in 0..instance.horizon() {
+        prev = dp_step(&prev, instance, oracle, t, &betas, options);
+    }
+    prev.min_value()
+}
+
+/// All per-slot `OPT_t` tables (used for backtracking and by tests).
+#[must_use]
+pub fn forward_tables(
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    options: DpOptions,
+) -> Vec<Table> {
+    let d = instance.num_types();
+    let betas = betas(instance);
+    let mut tables: Vec<Table> = Vec::with_capacity(instance.horizon());
+    for t in 0..instance.horizon() {
+        let prev = tables.last().cloned().unwrap_or_else(|| Table::origin(d));
+        tables.push(dp_step(&prev, instance, oracle, t, &betas, options));
+    }
+    tables
+}
+
+/// One DP step: arrival transform from `prev` onto slot `t`'s grid, then
+/// add `g_t`. Exposed for the incremental prefix solver.
+#[must_use]
+pub fn dp_step(
+    prev: &Table,
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    t: usize,
+    betas: &[f64],
+    options: DpOptions,
+) -> Table {
+    dp_step_scaled(prev, instance, oracle, t, instance.load(t), 1.0, betas, options)
+}
+
+/// One DP step with overridden volume and cost scale — the entry point
+/// used by Algorithm C's sub-slot refinement, where slot `t` is priced at
+/// `cost_scale · g_t` and carries volume `lambda`.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn dp_step_scaled(
+    prev: &Table,
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    t: usize,
+    lambda: f64,
+    cost_scale: f64,
+    betas: &[f64],
+    options: DpOptions,
+) -> Table {
+    let d = instance.num_types();
+    let levels: Vec<Vec<u32>> = (0..d)
+        .map(|j| options.grid.levels(instance.server_count(t, j)))
+        .collect();
+    let mut cur = arrival_transform(prev, &levels, betas);
+    fill_cells(&mut cur, options.parallel, |_, counts, v| {
+        if v.is_finite() {
+            *v += oracle.g_scaled(instance, t, counts, lambda, cost_scale);
+        }
+    });
+    cur
+}
+
+/// Switching costs `β_j` as a vector.
+#[must_use]
+pub fn betas(instance: &Instance) -> Vec<f64> {
+    (0..instance.num_types()).map(|j| instance.switching_cost(j)).collect()
+}
+
+/// Recover the optimal schedule from the forward tables.
+///
+/// At `t = T−1` the end state is the cheapest cell (powering down at the
+/// horizon end is free); going backwards, `x_t` is chosen to minimize
+/// `OPT_t(x') + Σ_j β_j (x_{t+1,j} − x'_j)^+`, with ties broken toward
+/// fewer total servers then lexicographically.
+#[must_use]
+pub fn backtrack(instance: &Instance, tables: &[Table]) -> DpResult {
+    assert_eq!(tables.len(), instance.horizon(), "one table per slot required");
+    backtrack_window(instance, tables)
+}
+
+/// [`backtrack`] for a window of tables that may cover only a suffix-free
+/// sub-range of the instance (used by receding-horizon control): the
+/// tables correspond to *consecutive* slots and only their switching
+/// costs (instance-global) matter here.
+#[must_use]
+pub fn backtrack_window(instance: &Instance, tables: &[Table]) -> DpResult {
+    let tt = tables.len();
+    assert!(tt > 0, "window must be non-empty");
+    let last_idx = tables[tt - 1]
+        .argmin()
+        .expect("instance validated as feasible, so OPT_T has a finite cell");
+    let cost = tables[tt - 1].values()[last_idx];
+    let mut configs: Vec<Config> = Vec::with_capacity(tt);
+    configs.push(tables[tt - 1].config_of(last_idx));
+    for t in (0..tt - 1).rev() {
+        let target = configs.last().expect("non-empty");
+        let tab = &tables[t];
+        let mut best: Option<(f64, u64, usize)> = None;
+        for (i, cfg) in tab.iter_configs() {
+            let base = tab.values()[i];
+            if !base.is_finite() {
+                continue;
+            }
+            let mut v = base;
+            for j in 0..instance.num_types() {
+                v += f64::from(target.count(j).saturating_sub(cfg.count(j)))
+                    * instance.switching_cost(j);
+            }
+            let tot = cfg.total();
+            let better = match best {
+                None => true,
+                Some((bv, btot, bi)) => {
+                    v < bv || (v == bv && (tot < btot || (tot == btot && i < bi)))
+                }
+            };
+            if better {
+                best = Some((v, tot, i));
+            }
+        }
+        let (_, _, idx) = best.expect("predecessor must exist");
+        configs.push(tab.config_of(idx));
+    }
+    configs.reverse();
+    DpResult { cost, schedule: Schedule::new(configs) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsz_core::{CostModel, ServerType};
+    use rsz_dispatch::Dispatcher;
+
+    fn small_instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 2, 3.0, 1.0, CostModel::constant(1.0)))
+            .server_type(ServerType::new("b", 1, 5.0, 2.0, CostModel::constant(1.5)))
+            .loads(vec![1.0, 2.0, 0.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dp_cost_matches_schedule_cost() {
+        let inst = small_instance();
+        let oracle = Dispatcher::new();
+        let res = solve(&inst, &oracle, DpOptions::default());
+        res.schedule.check_feasible(&inst).unwrap();
+        let bd = rsz_core::objective::evaluate(&inst, &res.schedule, &oracle);
+        assert!(
+            (bd.total() - res.cost).abs() < 1e-9,
+            "schedule cost {} vs DP value {}",
+            bd.total(),
+            res.cost
+        );
+    }
+
+    #[test]
+    fn cost_only_matches_full_solve() {
+        let inst = small_instance();
+        let oracle = Dispatcher::new();
+        let full = solve(&inst, &oracle, DpOptions::default());
+        let cheap = solve_cost_only(&inst, &oracle, DpOptions::default());
+        assert!((full.cost - cheap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_type_ski_rental_shape() {
+        // One server type, β = 4, idle 1; load 1 at t=0 and t=3, zero
+        // between. Keeping the server on costs 2 extra idle slots (2) <
+        // powering down and up again (4), so OPT keeps it running.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 1, 4.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![1.0, 0.0, 0.0, 1.0])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let res = solve(&inst, &oracle, DpOptions::default());
+        assert_eq!(
+            res.schedule,
+            Schedule::from_counts(vec![vec![1], vec![1], vec![1], vec![1]])
+        );
+        assert!((res.cost - (4.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_type_prefers_power_down_when_gap_long() {
+        // Same but β = 1: gap of 2 idle slots (cost 2) > power cycle (1).
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 1, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![1.0, 0.0, 0.0, 1.0])
+            .build()
+            .unwrap();
+        let res = solve(&inst, &Dispatcher::new(), DpOptions::default());
+        assert_eq!(
+            res.schedule,
+            Schedule::from_counts(vec![vec![1], vec![0], vec![0], vec![1]])
+        );
+        // 2 power-ups + 2 active slots
+        assert!((res.cost - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_picks_cheaper_type_for_load() {
+        // Type b serves 2 units with one server at idle 1.5 vs two type-a
+        // servers at combined idle 2.0; switching also favors b overall.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 2, 1.0, 1.0, CostModel::constant(1.0)))
+            .server_type(ServerType::new("b", 1, 1.0, 2.0, CostModel::constant(1.5)))
+            .loads(vec![2.0, 2.0, 2.0])
+            .build()
+            .unwrap();
+        let res = solve(&inst, &Dispatcher::new(), DpOptions::default());
+        assert_eq!(
+            res.schedule,
+            Schedule::from_counts(vec![vec![0, 1], vec![0, 1], vec![0, 1]])
+        );
+        assert!((res.cost - (1.0 + 3.0 * 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_grid_cost_within_guarantee() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 12, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .loads(vec![3.0, 9.0, 12.0, 2.0, 7.0])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let exact = solve(&inst, &oracle, DpOptions::default());
+        let gamma = 1.5;
+        let approx = solve(
+            &inst,
+            &oracle,
+            DpOptions { grid: GridMode::Gamma(gamma), parallel: false },
+        );
+        approx.schedule.check_feasible(&inst).unwrap();
+        assert!(approx.cost + 1e-9 >= exact.cost, "approx can't beat exact");
+        assert!(
+            approx.cost <= (2.0 * gamma - 1.0) * exact.cost + 1e-9,
+            "approx {} vs bound {}",
+            approx.cost,
+            (2.0 * gamma - 1.0) * exact.cost
+        );
+    }
+
+    #[test]
+    fn time_varying_fleet_sizes_respected() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 3, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![1.0, 3.0, 1.0])
+            .counts_over_time(vec![vec![1], vec![3], vec![2]])
+            .build()
+            .unwrap();
+        let res = solve(&inst, &Dispatcher::new(), DpOptions::default());
+        res.schedule.check_feasible(&inst).unwrap();
+        assert!(res.schedule.count(0, 0) <= 1);
+        assert_eq!(res.schedule.count(1, 0), 3);
+        assert!(res.schedule.count(2, 0) <= 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 6, 2.0, 1.0, CostModel::power(0.3, 1.0, 2.0)))
+            .server_type(ServerType::new("b", 4, 4.0, 2.0, CostModel::linear(0.6, 0.8)))
+            .loads(vec![2.0, 7.0, 4.0, 0.0, 9.0])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let seq = solve(&inst, &oracle, DpOptions { grid: GridMode::Full, parallel: false });
+        let par = solve(&inst, &oracle, DpOptions { grid: GridMode::Full, parallel: true });
+        assert!((seq.cost - par.cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Incremental prefix-optimal solver — the substrate of the online
+//! algorithms.
+//!
+//! Algorithms A, B and C all need, at every slot `t`, the final
+//! configuration `x̂^t_t` of an optimal schedule for the *prefix* instance
+//! `I_t` (Section 2: "Calculate X̂^t"). Re-running the offline DP from
+//! scratch each slot would cost `O(T² |grid| d)`; instead this module
+//! maintains the rolling table `OPT_t(·)` and advances it one slot at a
+//! time, which is exactly one [`crate::dp::dp_step`] per arriving slot.
+//!
+//! The returned `x̂^t_t = argmin_x OPT_t(x)` is the last configuration of
+//! *some* optimal prefix schedule (the paper's analysis allows any), with
+//! deterministic tie-breaking toward fewer servers.
+
+use rsz_core::{Config, GtOracle, Instance};
+
+use crate::dp::{betas, dp_step_scaled, DpOptions};
+use crate::table::Table;
+
+/// Rolling prefix-DP state.
+#[derive(Clone, Debug)]
+pub struct PrefixDp {
+    betas: Vec<f64>,
+    options: DpOptions,
+    table: Table,
+    slots_processed: usize,
+}
+
+impl PrefixDp {
+    /// Fresh state for an instance (no slots processed yet).
+    #[must_use]
+    pub fn new(instance: &Instance, options: DpOptions) -> Self {
+        Self {
+            betas: betas(instance),
+            options,
+            table: Table::origin(instance.num_types()),
+            slots_processed: 0,
+        }
+    }
+
+    /// Number of slots folded into the state so far.
+    #[must_use]
+    pub fn slots_processed(&self) -> usize {
+        self.slots_processed
+    }
+
+    /// The current table `OPT_t(·)` (after `t` steps).
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Cost `C(X̂^t)` of an optimal prefix schedule.
+    #[must_use]
+    pub fn prefix_opt_cost(&self) -> f64 {
+        if self.slots_processed == 0 {
+            0.0
+        } else {
+            self.table.min_value()
+        }
+    }
+
+    /// Fold slot `t` of `instance` in and return `x̂^t_t`.
+    ///
+    /// `t` must equal the number of slots processed so far (slots arrive
+    /// in order, exactly once).
+    pub fn step(&mut self, instance: &Instance, oracle: &(impl GtOracle + Sync), t: usize) -> Config {
+        self.step_scaled(instance, oracle, t, instance.load(t), 1.0)
+    }
+
+    /// Fold a (sub-)slot priced at `cost_scale · g_t` with volume
+    /// `lambda` — Algorithm C feeds each original slot `ñ_t` times with
+    /// `cost_scale = 1/ñ_t`.
+    pub fn step_scaled(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + Sync),
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> Config {
+        self.table = dp_step_scaled(
+            &self.table,
+            instance,
+            oracle,
+            t,
+            lambda,
+            cost_scale,
+            &self.betas,
+            self.options,
+        );
+        self.slots_processed += 1;
+        let idx = self
+            .table
+            .argmin()
+            .expect("prefix instance feasible, so OPT_t has a finite cell");
+        self.table.config_of(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::{forward_tables, solve};
+    use rsz_core::{CostModel, ServerType};
+    use rsz_dispatch::Dispatcher;
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .server_type(ServerType::new("b", 2, 5.0, 2.0, CostModel::constant(1.2)))
+            .loads(vec![1.0, 4.0, 2.0, 0.0, 5.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn incremental_tables_match_batch_tables() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let opts = DpOptions { parallel: false, ..DpOptions::default() };
+        let batch = forward_tables(&inst, &oracle, opts);
+        let mut pre = PrefixDp::new(&inst, opts);
+        #[allow(clippy::needless_range_loop)] // t indexes batch tables in lockstep
+        for t in 0..inst.horizon() {
+            pre.step(&inst, &oracle, t);
+            for i in 0..batch[t].len() {
+                let (a, b) = (pre.table().values()[i], batch[t].values()[i]);
+                assert!((a == b) || (a - b).abs() < 1e-9, "t={t} cell {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_cost_matches_truncated_offline_solve() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let opts = DpOptions { parallel: false, ..DpOptions::default() };
+        let mut pre = PrefixDp::new(&inst, opts);
+        for t in 0..inst.horizon() {
+            pre.step(&inst, &oracle, t);
+            let truncated = inst.truncated(t + 1);
+            let direct = solve(&truncated, &oracle, opts);
+            assert!(
+                (pre.prefix_opt_cost() - direct.cost).abs() < 1e-9,
+                "t={t}: incremental {} vs direct {}",
+                pre.prefix_opt_cost(),
+                direct.cost
+            );
+        }
+    }
+
+    #[test]
+    fn argmin_config_is_last_state_of_some_prefix_optimum() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let opts = DpOptions { parallel: false, ..DpOptions::default() };
+        let mut pre = PrefixDp::new(&inst, opts);
+        for t in 0..inst.horizon() {
+            let xhat = pre.step(&inst, &oracle, t);
+            // OPT_t(x̂) equals the prefix optimum by definition of argmin.
+            let val = pre.table().get(&xhat).unwrap();
+            assert!((val - pre.prefix_opt_cost()).abs() < 1e-12);
+            // And the prefix optimum schedule ending there is feasible.
+            assert!(inst.is_admissible(t, &xhat));
+        }
+    }
+
+    #[test]
+    fn empty_state_has_zero_cost() {
+        let inst = instance();
+        let pre = PrefixDp::new(&inst, DpOptions::default());
+        assert_eq!(pre.prefix_opt_cost(), 0.0);
+        assert_eq!(pre.slots_processed(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # rsz-offline — offline algorithms for right-sizing (Section 4)
+//!
+//! Implements the paper's offline machinery:
+//!
+//! * [`dp`] — the optimal dynamic program over the full configuration
+//!   grid (Section 4.1), with per-slot candidate grids so time-varying
+//!   fleet sizes (Section 4.3) come for free. The DP transition uses the
+//!   linear-time power-up distance [`transform`], giving `O(T·|grid|·d)`
+//!   per solve plus one dispatch solve per cell.
+//! * [`graph`] — the paper's explicit two-layer graph `G(I)` (Figure 4)
+//!   solved by per-layer relaxations; an independent implementation used
+//!   to cross-check the DP.
+//! * [`grid`] + [`approx`] — the reduced level sets `M^γ_j` and the
+//!   `(1+ε)`-approximation of Theorems 16/21.
+//! * [`rounding`] — the corridor witness `X'` from the proof of
+//!   Theorem 16 (Equation 18), used by experiments to exhibit the
+//!   constructive argument.
+//! * [`incremental`] — a rolling prefix-optimal solver, the substrate
+//!   that makes the online algorithms of Sections 2–3 efficient.
+//! * [`relax`] — the fractional relaxation via server subdivision, for
+//!   integrality-gap measurements against the prior fractional work.
+//! * [`brute`] — exhaustive enumeration for tiny instances (test oracle).
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod brute;
+pub mod dp;
+pub mod graph;
+pub mod grid;
+pub mod incremental;
+pub mod parallel;
+pub mod relax;
+pub mod rounding;
+pub mod table;
+pub mod transform;
+
+pub use approx::{approximate, ApproxResult};
+pub use dp::{solve, solve_cost_only, DpOptions, DpResult};
+pub use graph::{solve as solve_graph, GraphResult};
+pub use grid::GridMode;
+pub use incremental::PrefixDp;
+pub use table::Table;

@@ -1,0 +1,153 @@
+//! Chunked parallel fills over DP tables.
+//!
+//! Evaluating `g_t(x)` for every configuration of a grid is embarrassingly
+//! parallel and dominates the DP's runtime (each evaluation runs a convex
+//! dispatch solve). Tables below [`PAR_THRESHOLD`] cells stay sequential —
+//! thread spawn overhead would swamp the win on small grids.
+
+use crate::table::Table;
+
+/// Minimum table size (cells) before threads are used.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Apply `f(flat_index, counts, &mut value)` to every cell of `table`,
+/// in parallel when `parallel` is set and the table is large enough.
+///
+/// `f` must be a pure function of the index and counts — cells are
+/// processed in unspecified order across threads.
+pub fn fill_cells<F>(table: &mut Table, parallel: bool, f: F)
+where
+    F: Fn(usize, &[u32], &mut f64) + Sync,
+{
+    let levels: Vec<Vec<u32>> = table.all_levels().to_vec();
+    let sizes: Vec<usize> = levels.iter().map(Vec::len).collect();
+    let total = table.len();
+    let values = table.values_mut();
+
+    let run_chunk = |offset: usize, chunk: &mut [f64]| {
+        let mut odo = Odometer::at(&sizes, offset);
+        let mut counts: Vec<u32> = odo.pos.iter().zip(&levels).map(|(&p, l)| l[p]).collect();
+        let chunk_len = chunk.len();
+        for (i, v) in chunk.iter_mut().enumerate() {
+            f(offset + i, &counts, v);
+            if i + 1 < chunk_len {
+                let j = odo.advance();
+                for jj in j..counts.len() {
+                    counts[jj] = levels[jj][odo.pos[jj]];
+                }
+            }
+        }
+    };
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    if !parallel || total < PAR_THRESHOLD || threads <= 1 {
+        run_chunk(0, values);
+        return;
+    }
+
+    let chunk_size = total.div_ceil(threads * 4).max(64);
+    crossbeam::thread::scope(|s| {
+        for (ci, chunk) in values.chunks_mut(chunk_size).enumerate() {
+            let run = &run_chunk;
+            s.spawn(move |_| run(ci * chunk_size, chunk));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Mixed-radix odometer over per-dimension sizes, last dimension fastest.
+struct Odometer {
+    sizes: Vec<usize>,
+    pos: Vec<usize>,
+}
+
+impl Odometer {
+    /// Odometer positioned at flat index `idx`.
+    fn at(sizes: &[usize], mut idx: usize) -> Self {
+        let d = sizes.len();
+        let mut pos = vec![0usize; d];
+        for j in (0..d).rev() {
+            pos[j] = idx % sizes[j];
+            idx /= sizes[j];
+        }
+        Self { sizes: sizes.to_vec(), pos }
+    }
+
+    /// Advance one cell; returns the first dimension index whose position
+    /// changed (for incremental count refresh).
+    fn advance(&mut self) -> usize {
+        for j in (0..self.pos.len()).rev() {
+            self.pos[j] += 1;
+            if self.pos[j] < self.sizes[j] {
+                return j;
+            }
+            self.pos[j] = 0;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_fill(parallel: bool) {
+        let mut t = Table::new(vec![vec![0u32, 2, 5], vec![1u32, 3], vec![0u32, 1, 2, 4]], 0.0);
+        fill_cells(&mut t, parallel, |idx, counts, v| {
+            *v = idx as f64 * 1000.0
+                + f64::from(counts[0]) * 100.0
+                + f64::from(counts[1]) * 10.0
+                + f64::from(counts[2]);
+        });
+        for i in 0..t.len() {
+            let cfg = t.config_of(i);
+            let want = i as f64 * 1000.0
+                + f64::from(cfg.count(0)) * 100.0
+                + f64::from(cfg.count(1)) * 10.0
+                + f64::from(cfg.count(2));
+            assert_eq!(t.values()[i], want, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn sequential_fill_visits_every_cell_with_correct_counts() {
+        check_fill(false);
+    }
+
+    #[test]
+    fn parallel_fill_matches_sequential() {
+        check_fill(true);
+    }
+
+    #[test]
+    fn odometer_at_matches_manual_decomposition() {
+        let sizes = vec![3usize, 2, 4];
+        for idx in 0..24 {
+            let odo = Odometer::at(&sizes, idx);
+            let want = [(idx / 8) % 3, (idx / 4) % 2, idx % 4];
+            assert_eq!(odo.pos, want, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn odometer_advance_walks_linearly() {
+        let sizes = vec![2usize, 3];
+        let mut odo = Odometer::at(&sizes, 0);
+        let mut seen = vec![odo.pos.clone()];
+        for _ in 0..5 {
+            odo.advance();
+            seen.push(odo.pos.clone());
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+}

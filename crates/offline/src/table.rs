@@ -1,0 +1,250 @@
+//! Flattened cost tables over per-dimension candidate grids.
+//!
+//! A [`Table`] stores one `f64` per server configuration of a (possibly
+//! reduced) grid `V_1 × … × V_d`, where `V_j` is a sorted list of candidate
+//! counts for type `j` — either the full range `{0, …, m_j}` or the paper's
+//! `M^γ_j` (Section 4.2). Values are stored in row-major (C) order with the
+//! **last** dimension fastest.
+
+use rsz_core::Config;
+
+/// Sorted candidate counts per dimension plus a flat value array.
+#[derive(Clone, Debug)]
+pub struct Table {
+    levels: Vec<Vec<u32>>,
+    strides: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Table {
+    /// A table over the given per-dimension levels, filled with `init`.
+    ///
+    /// # Panics
+    /// Panics if any dimension is empty or unsorted.
+    #[must_use]
+    pub fn new(levels: Vec<Vec<u32>>, init: f64) -> Self {
+        for v in &levels {
+            assert!(!v.is_empty(), "grid dimension must be non-empty");
+            debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "levels must be strictly sorted");
+        }
+        let strides = compute_strides(&levels);
+        let size = levels.iter().map(Vec::len).product();
+        Self { levels, strides, values: vec![init; size] }
+    }
+
+    /// The single-cell table over the origin `(0, …, 0)` with value 0 —
+    /// the DP's initial state `OPT_0`.
+    #[must_use]
+    pub fn origin(d: usize) -> Self {
+        let mut t = Table::new(vec![vec![0]; d], 0.0);
+        t.values[0] = 0.0;
+        t
+    }
+
+    /// Number of dimensions `d`.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Candidate levels of dimension `j`.
+    #[must_use]
+    pub fn levels(&self, j: usize) -> &[u32] {
+        &self.levels[j]
+    }
+
+    /// All candidate level lists.
+    #[must_use]
+    pub fn all_levels(&self) -> &[Vec<u32>] {
+        &self.levels
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the table has no cells (never happens for valid grids).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The flat value slice.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable flat value slice.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Stride of dimension `j` in the flat layout.
+    #[must_use]
+    pub fn stride(&self, j: usize) -> usize {
+        self.strides[j]
+    }
+
+    /// Flat index of the cell with per-dimension level *positions* `pos`.
+    #[must_use]
+    pub fn index_of(&self, pos: &[usize]) -> usize {
+        debug_assert_eq!(pos.len(), self.dims());
+        pos.iter().zip(&self.strides).map(|(&p, &s)| p * s).sum()
+    }
+
+    /// Decompose a flat index into per-dimension positions.
+    #[must_use]
+    pub fn positions_of(&self, mut idx: usize) -> Vec<usize> {
+        let mut pos = vec![0; self.dims()];
+        #[allow(clippy::needless_range_loop)] // j indexes pos and strides together
+        for j in 0..self.dims() {
+            pos[j] = idx / self.strides[j];
+            idx %= self.strides[j];
+        }
+        pos
+    }
+
+    /// The server configuration of a flat index.
+    #[must_use]
+    pub fn config_of(&self, idx: usize) -> Config {
+        let pos = self.positions_of(idx);
+        Config::new(
+            pos.iter()
+                .enumerate()
+                .map(|(j, &p)| self.levels[j][p])
+                .collect(),
+        )
+    }
+
+    /// Flat index of a configuration, if every count is on the grid.
+    #[must_use]
+    pub fn index_of_config(&self, x: &Config) -> Option<usize> {
+        if x.dims() != self.dims() {
+            return None;
+        }
+        let mut idx = 0;
+        for j in 0..self.dims() {
+            let p = self.levels[j].binary_search(&x.count(j)).ok()?;
+            idx += p * self.strides[j];
+        }
+        Some(idx)
+    }
+
+    /// Value at a configuration (`None` if off-grid).
+    #[must_use]
+    pub fn get(&self, x: &Config) -> Option<f64> {
+        self.index_of_config(x).map(|i| self.values[i])
+    }
+
+    /// Flat index of the cell with minimum value, breaking ties toward the
+    /// configuration with the smallest total count, then lexicographically
+    /// smallest counts. Returns `None` if every cell is infinite.
+    #[must_use]
+    pub fn argmin(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64, u64)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let replace = match best {
+                None => true,
+                Some((bi, bv, btot)) => {
+                    if v < bv {
+                        true
+                    } else if v > bv {
+                        false
+                    } else {
+                        let tot = self.config_of(i).total();
+                        // lexicographic fallback is the index order itself
+                        tot < btot || (tot == btot && i < bi)
+                    }
+                }
+            };
+            if replace {
+                let tot = self.config_of(i).total();
+                best = Some((i, v, tot));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Minimum value over all cells (`∞` when all infeasible).
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Iterate `(flat index, configuration)` pairs in layout order.
+    pub fn iter_configs(&self) -> impl Iterator<Item = (usize, Config)> + '_ {
+        (0..self.len()).map(move |i| (i, self.config_of(i)))
+    }
+}
+
+fn compute_strides(levels: &[Vec<u32>]) -> Vec<usize> {
+    let d = levels.len();
+    let mut strides = vec![1usize; d];
+    for j in (0..d.saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1] * levels[j + 1].len();
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(vec![vec![0, 1, 2], vec![0, 2]], f64::INFINITY)
+    }
+
+    #[test]
+    fn strides_and_indexing_round_trip() {
+        let t = table();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.stride(0), 2);
+        assert_eq!(t.stride(1), 1);
+        for i in 0..t.len() {
+            let pos = t.positions_of(i);
+            assert_eq!(t.index_of(&pos), i);
+            let cfg = t.config_of(i);
+            assert_eq!(t.index_of_config(&cfg), Some(i));
+        }
+    }
+
+    #[test]
+    fn config_mapping() {
+        let t = table();
+        assert_eq!(t.config_of(0), Config::new(vec![0, 0]));
+        assert_eq!(t.config_of(1), Config::new(vec![0, 2]));
+        assert_eq!(t.config_of(5), Config::new(vec![2, 2]));
+        assert_eq!(t.index_of_config(&Config::new(vec![1, 1])), None); // off-grid
+    }
+
+    #[test]
+    fn argmin_breaks_ties_by_total_count() {
+        let mut t = table();
+        t.values_mut()[1] = 5.0; // (0,2)
+        t.values_mut()[2] = 5.0; // (1,0) — same value, smaller total
+        assert_eq!(t.argmin(), Some(2));
+        t.values_mut()[0] = 5.0; // (0,0) — smallest total
+        assert_eq!(t.argmin(), Some(0));
+    }
+
+    #[test]
+    fn argmin_none_when_all_infinite() {
+        let t = table();
+        assert_eq!(t.argmin(), None);
+        assert_eq!(t.min_value(), f64::INFINITY);
+    }
+
+    #[test]
+    fn origin_table() {
+        let t = Table::origin(3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.values()[0], 0.0);
+        assert_eq!(t.config_of(0), Config::zeros(3));
+    }
+}

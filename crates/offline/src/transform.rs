@@ -1,0 +1,233 @@
+//! The power-up distance transform.
+//!
+//! The DP transition of the right-sizing problem is the min-plus
+//! convolution
+//!
+//! ```text
+//! A_t(x) = min_{x'} [ OPT_{t−1}(x') + Σ_j β_j (x_j − x'_j)^+ ]
+//! ```
+//!
+//! Because the switching metric is separable across dimensions, the full
+//! convolution factors into `d` independent one-dimensional passes, each
+//! computable in linear time over the (sorted) candidate levels:
+//!
+//! ```text
+//! B[i] = min( min_{v'_k ≥ v_i} P[k],                 // power down or stay: free
+//!             β·v_i + min_{v'_k < v_i} (P[k] − β·v'_k) )   // power up from below
+//! ```
+//!
+//! The first term is a suffix minimum, the second a running prefix
+//! minimum, so a pass over a line of length `n+n'` costs `O(n+n')`. The
+//! pass also handles *different* source and target level sets, which is
+//! what makes γ-grids and time-varying fleet sizes (Sections 4.2–4.3)
+//! drop out for free.
+
+use crate::table::Table;
+
+/// Transform one line: `out[i] = min_k prev[k] + beta·(new_vals[i] −
+/// old_vals[k])^+`, where `prev[k]` is read through `get_prev` and results
+/// are written through `set_out`. Both level slices must be sorted
+/// ascending.
+pub fn transform_line(
+    old_vals: &[u32],
+    new_vals: &[u32],
+    beta: f64,
+    get_prev: impl Fn(usize) -> f64,
+    mut set_out: impl FnMut(usize, f64),
+) {
+    let n_old = old_vals.len();
+    // Suffix minima of prev: suffix[k] = min_{l ≥ k} prev[l].
+    let mut suffix = vec![f64::INFINITY; n_old + 1];
+    for k in (0..n_old).rev() {
+        suffix[k] = suffix[k + 1].min(get_prev(k));
+    }
+    let mut k = 0usize; // first old index with old_vals[k] ≥ v_i
+    let mut best_up = f64::INFINITY; // min over old_vals[k] < v_i of prev[k] − β·old_vals[k]
+    for (i, &v) in new_vals.iter().enumerate() {
+        while k < n_old && old_vals[k] < v {
+            let c = get_prev(k) - beta * f64::from(old_vals[k]);
+            if c < best_up {
+                best_up = c;
+            }
+            k += 1;
+        }
+        let stay_or_down = suffix[k];
+        let up = beta * f64::from(v) + best_up;
+        set_out(i, stay_or_down.min(up));
+    }
+}
+
+/// Apply the transform along dimension `j` of `table`, re-gridding that
+/// dimension to `new_levels`. Returns a new table whose dimension `j` has
+/// levels `new_levels`; all other dimensions are unchanged.
+#[must_use]
+pub fn transform_dim(table: &Table, j: usize, new_levels: &[u32], beta: f64) -> Table {
+    let d = table.dims();
+    debug_assert!(j < d);
+    let old_levels = table.levels(j).to_vec();
+    let mut levels: Vec<Vec<u32>> = table.all_levels().to_vec();
+    levels[j] = new_levels.to_vec();
+    let mut out = Table::new(levels, f64::INFINITY);
+
+    let old_stride = table.stride(j);
+    let new_stride = out.stride(j);
+    let n_old = old_levels.len();
+    let n_new = new_levels.len();
+    // Flat layout: index = a·(n·s) + p·s + b with p the position along j,
+    // s the stride of j, b ∈ [0, s), a the outer block index.
+    let outer_blocks = table.len() / (n_old * old_stride);
+    let in_vals = table.values();
+    let out_vals = out.values_mut();
+    for a in 0..outer_blocks {
+        let in_base_a = a * n_old * old_stride;
+        let out_base_a = a * n_new * new_stride;
+        for b in 0..old_stride {
+            let in_base = in_base_a + b;
+            let out_base = out_base_a + b;
+            transform_line(
+                &old_levels,
+                new_levels,
+                beta,
+                |k| in_vals[in_base + k * old_stride],
+                |i, v| out_vals[out_base + i * new_stride] = v,
+            );
+        }
+    }
+    out
+}
+
+/// Full arrival transform: apply [`transform_dim`] for every dimension,
+/// re-gridding to `new_levels` and charging `betas[j]` per power-up.
+///
+/// Computes `A(x) = min_{x'} table(x') + Σ_j β_j (x_j − x'_j)^+` for every
+/// `x` on the new grid.
+#[must_use]
+pub fn arrival_transform(table: &Table, new_levels: &[Vec<u32>], betas: &[f64]) -> Table {
+    let d = table.dims();
+    debug_assert_eq!(new_levels.len(), d);
+    debug_assert_eq!(betas.len(), d);
+    let mut cur = table.clone();
+    #[allow(clippy::needless_range_loop)] // j indexes new_levels and betas together
+    for j in 0..d {
+        cur = transform_dim(&cur, j, &new_levels[j], betas[j]);
+    }
+    cur
+}
+
+/// Naive `O(|grid|²)` reference implementation of the arrival transform,
+/// used by tests to validate the scan version.
+#[must_use]
+pub fn arrival_transform_naive(table: &Table, new_levels: &[Vec<u32>], betas: &[f64]) -> Table {
+    let mut out = Table::new(new_levels.to_vec(), f64::INFINITY);
+    for to_idx in 0..out.len() {
+        let to = out.config_of(to_idx);
+        let mut best = f64::INFINITY;
+        for from_idx in 0..table.len() {
+            let from = table.config_of(from_idx);
+            let mut c = table.values()[from_idx];
+            #[allow(clippy::needless_range_loop)] // j indexes betas and both configs
+            for j in 0..table.dims() {
+                c += f64::from(to.count(j).saturating_sub(from.count(j))) * betas[j];
+            }
+            if c < best {
+                best = c;
+            }
+        }
+        out.values_mut()[to_idx] = best;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_transform_matches_naive() {
+        let old = vec![0u32, 1, 3, 4];
+        let new = vec![0u32, 2, 4, 7];
+        let prev = [5.0, 2.0, 4.0, 9.0];
+        let beta = 1.5;
+        let mut got = vec![0.0; new.len()];
+        transform_line(&old, &new, beta, |k| prev[k], |i, v| got[i] = v);
+        for (i, &v) in new.iter().enumerate() {
+            let want = old
+                .iter()
+                .zip(prev.iter())
+                .map(|(&o, &p)| p + beta * f64::from(v.saturating_sub(o)))
+                .fold(f64::INFINITY, f64::min);
+            assert!((got[i] - want).abs() < 1e-12, "i={i}: {} vs {want}", got[i]);
+        }
+    }
+
+    #[test]
+    fn line_transform_handles_infinities() {
+        let old = vec![0u32, 1];
+        let new = vec![0u32, 1, 2];
+        let prev = [f64::INFINITY, 3.0];
+        let mut got = [0.0; 3];
+        transform_line(&old, &new, 2.0, |k| prev[k], |i, v| got[i] = v);
+        assert_eq!(got[0], f64::INFINITY.min(3.0)); // down from 1: free
+        assert_eq!(got[1], 3.0);
+        assert_eq!(got[2], 5.0); // up from 1: 3 + 2·1
+    }
+
+    #[test]
+    fn multi_dim_matches_naive_on_random_tables() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let d = rng.gen_range(1..=3);
+            let levels_in: Vec<Vec<u32>> = (0..d)
+                .map(|_| {
+                    let m = rng.gen_range(1..=6);
+                    let mut v: Vec<u32> = (0..=m).filter(|_| rng.gen_bool(0.7)).collect();
+                    if v.is_empty() {
+                        v.push(0);
+                    }
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let levels_out: Vec<Vec<u32>> = (0..d)
+                .map(|_| {
+                    let m = rng.gen_range(1..=6);
+                    let mut v: Vec<u32> = (0..=m).filter(|_| rng.gen_bool(0.7)).collect();
+                    if v.is_empty() {
+                        v.push(0);
+                    }
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let betas: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..4.0)).collect();
+            let mut t = Table::new(levels_in.clone(), 0.0);
+            for v in t.values_mut() {
+                *v = if rng.gen_bool(0.1) { f64::INFINITY } else { rng.gen_range(0.0..10.0) };
+            }
+            let fast = arrival_transform(&t, &levels_out, &betas);
+            let naive = arrival_transform_naive(&t, &levels_out, &betas);
+            for i in 0..fast.len() {
+                let (a, b) = (fast.values()[i], naive.values()[i]);
+                assert!(
+                    (a == b) || (a - b).abs() < 1e-9,
+                    "cell {i}: fast {a} vs naive {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transform_from_origin_charges_full_power_up() {
+        let t = Table::origin(2);
+        let levels = vec![vec![0u32, 1, 2], vec![0u32, 3]];
+        let betas = [2.0, 5.0];
+        let out = arrival_transform(&t, &levels, &betas);
+        for (i, cfg) in out.iter_configs() {
+            let want = 2.0 * f64::from(cfg.count(0)) + 5.0 * f64::from(cfg.count(1));
+            assert!((out.values()[i] - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Actuation: from count schedules to per-server power commands.
+//!
+//! The paper's model (and every solver in this workspace) decides *how
+//! many* servers of each type run per slot. A cluster controller must
+//! turn that into *which* physical server to power up or down. This
+//! module materializes a [`Schedule`] into an ordered command stream,
+//! parameterized by the power-down selection policy:
+//!
+//! * [`DownPolicy::Lifo`] — retire the most recently started server
+//!   first. Keeps a stable core of long-running machines (good for cache
+//!   warmth and for licensing models tied to specific hosts) but
+//!   concentrates power cycles on a few "swing" servers.
+//! * [`DownPolicy::Fifo`] — retire the longest-running server first.
+//!   Spreads both uptime and power cycles evenly (wear leveling).
+//!
+//! The plan is validated against the schedule (commands replayed slot by
+//! slot must reproduce the counts exactly) and reports per-server wear
+//! statistics, which the `diurnal_fleet` example surfaces.
+
+use rsz_core::{Instance, Schedule};
+
+/// Power a specific server up or down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PowerAction {
+    /// Switch the server from inactive to active (costs `β_j`).
+    PowerUp,
+    /// Switch the server from active to inactive (free in the model).
+    PowerDown,
+}
+
+/// One command in the actuation stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowerCommand {
+    /// Slot at whose start the command executes (0-based).
+    pub t: usize,
+    /// Server type index.
+    pub type_index: usize,
+    /// Server identifier within the type, `0 .. m_j`.
+    pub server_id: u32,
+    /// The action.
+    pub action: PowerAction,
+}
+
+/// Which server to pick when powering down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DownPolicy {
+    /// Most recently started first (stable core, concentrated wear).
+    Lifo,
+    /// Longest running first (wear leveling).
+    Fifo,
+}
+
+/// Per-server statistics of an actuation plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerStats {
+    /// Type index.
+    pub type_index: usize,
+    /// Server identifier.
+    pub server_id: u32,
+    /// Slots spent active.
+    pub active_slots: u64,
+    /// Number of power-up operations ("cycles" for wear purposes).
+    pub power_ups: u64,
+}
+
+/// A materialized schedule: the command stream plus wear statistics.
+#[derive(Clone, Debug)]
+pub struct ActuationPlan {
+    /// Commands in execution order (grouped by slot).
+    pub commands: Vec<PowerCommand>,
+    /// Per-server statistics, all types concatenated.
+    pub server_stats: Vec<ServerStats>,
+}
+
+impl ActuationPlan {
+    /// Maximum power cycles over all servers of a type — the wear
+    /// hot-spot metric LIFO concentrates and FIFO flattens.
+    #[must_use]
+    pub fn max_cycles(&self, type_index: usize) -> u64 {
+        self.server_stats
+            .iter()
+            .filter(|s| s.type_index == type_index)
+            .map(|s| s.power_ups)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total power-up commands of a type (= the schedule's power-ups).
+    #[must_use]
+    pub fn total_cycles(&self, type_index: usize) -> u64 {
+        self.server_stats
+            .iter()
+            .filter(|s| s.type_index == type_index)
+            .map(|s| s.power_ups)
+            .sum()
+    }
+}
+
+/// Materialize `schedule` into per-server commands under `policy`.
+///
+/// # Panics
+/// Panics if the schedule is infeasible for the instance (callers hold a
+/// feasibility proof from [`Schedule::check_feasible`]).
+#[must_use]
+pub fn actuate(instance: &Instance, schedule: &Schedule, policy: DownPolicy) -> ActuationPlan {
+    schedule.check_feasible(instance).expect("actuate requires a feasible schedule");
+    let d = instance.num_types();
+    let mut commands = Vec::new();
+    // Active stacks per type: server ids in power-up order (oldest first).
+    let mut active: Vec<Vec<u32>> = vec![Vec::new(); d];
+    // Free pools per type: ids not currently active, most recently freed
+    // last (reused LIFO so ids stay compact).
+    let mut free: Vec<Vec<u32>> = (0..d)
+        .map(|j| (0..instance.max_counts()[j]).rev().collect())
+        .collect();
+    let mut stats: Vec<Vec<ServerStats>> = (0..d)
+        .map(|j| {
+            (0..instance.max_counts()[j])
+                .map(|id| ServerStats {
+                    type_index: j,
+                    server_id: id,
+                    active_slots: 0,
+                    power_ups: 0,
+                })
+                .collect()
+        })
+        .collect();
+
+    for (t, cfg) in schedule.iter() {
+        for j in 0..d {
+            let want = cfg.count(j) as usize;
+            while active[j].len() > want {
+                let id = match policy {
+                    DownPolicy::Lifo => active[j].pop().expect("non-empty"),
+                    DownPolicy::Fifo => active[j].remove(0),
+                };
+                commands.push(PowerCommand {
+                    t,
+                    type_index: j,
+                    server_id: id,
+                    action: PowerAction::PowerDown,
+                });
+                free[j].push(id);
+            }
+            while active[j].len() < want {
+                let id = free[j].pop().expect("schedule within fleet bounds");
+                commands.push(PowerCommand {
+                    t,
+                    type_index: j,
+                    server_id: id,
+                    action: PowerAction::PowerUp,
+                });
+                stats[j][id as usize].power_ups += 1;
+                active[j].push(id);
+            }
+            for &id in &active[j] {
+                stats[j][id as usize].active_slots += 1;
+            }
+        }
+    }
+    ActuationPlan { commands, server_stats: stats.into_iter().flatten().collect() }
+}
+
+/// Replay a command stream and check it reproduces the schedule's counts
+/// (used by tests and by downstream integrations as a safety net).
+#[must_use]
+pub fn replay_matches(instance: &Instance, schedule: &Schedule, plan: &ActuationPlan) -> bool {
+    let d = instance.num_types();
+    let mut active: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); d];
+    let mut cmd_iter = plan.commands.iter().peekable();
+    for (t, cfg) in schedule.iter() {
+        while let Some(c) = cmd_iter.peek() {
+            if c.t != t {
+                break;
+            }
+            let c = cmd_iter.next().expect("peeked");
+            let set = &mut active[c.type_index];
+            match c.action {
+                PowerAction::PowerUp => {
+                    if !set.insert(c.server_id) {
+                        return false; // powered an already-active server
+                    }
+                }
+                PowerAction::PowerDown => {
+                    if !set.remove(&c.server_id) {
+                        return false; // powered down an inactive server
+                    }
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // j indexes active and the config
+        for j in 0..d {
+            if active[j].len() != cfg.count(j) as usize {
+                return false;
+            }
+        }
+    }
+    cmd_iter.next().is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsz_core::CostModel;
+    use rsz_core::ServerType;
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 3, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![2.0, 1.0, 3.0, 0.0, 2.0])
+            .build()
+            .unwrap();
+        let sched = Schedule::from_counts(vec![vec![2], vec![1], vec![3], vec![0], vec![2]]);
+        (inst, sched)
+    }
+
+    #[test]
+    fn plans_replay_to_the_schedule() {
+        let (inst, sched) = setup();
+        for policy in [DownPolicy::Lifo, DownPolicy::Fifo] {
+            let plan = actuate(&inst, &sched, policy);
+            assert!(replay_matches(&inst, &sched, &plan), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn total_cycles_match_schedule_power_ups() {
+        let (inst, sched) = setup();
+        let ups = sched.power_ups(1)[0];
+        for policy in [DownPolicy::Lifo, DownPolicy::Fifo] {
+            let plan = actuate(&inst, &sched, policy);
+            assert_eq!(plan.total_cycles(0), ups);
+        }
+    }
+
+    #[test]
+    fn fifo_levels_wear_lifo_concentrates_it() {
+        // Oscillating schedule: 2 ↔ 1 repeatedly. LIFO cycles the same
+        // swing server; FIFO rotates.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 2, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0])
+            .build()
+            .unwrap();
+        let counts: Vec<Vec<u32>> =
+            vec![vec![2], vec![1], vec![2], vec![1], vec![2], vec![1], vec![2]];
+        let sched = Schedule::from_counts(counts);
+        let lifo = actuate(&inst, &sched, DownPolicy::Lifo);
+        let fifo = actuate(&inst, &sched, DownPolicy::Fifo);
+        assert!(replay_matches(&inst, &sched, &lifo));
+        assert!(replay_matches(&inst, &sched, &fifo));
+        assert!(
+            lifo.max_cycles(0) > fifo.max_cycles(0),
+            "LIFO {} vs FIFO {}",
+            lifo.max_cycles(0),
+            fifo.max_cycles(0)
+        );
+        assert_eq!(lifo.total_cycles(0), fifo.total_cycles(0));
+    }
+
+    #[test]
+    fn active_slots_sum_matches_schedule() {
+        let (inst, sched) = setup();
+        let plan = actuate(&inst, &sched, DownPolicy::Fifo);
+        let total_active: u64 = plan.server_stats.iter().map(|s| s.active_slots).sum();
+        let expected: u64 = (0..sched.len()).map(|t| u64::from(sched.count(t, 0))).sum();
+        assert_eq!(total_active, expected);
+    }
+
+    #[test]
+    fn commands_are_slot_ordered() {
+        let (inst, sched) = setup();
+        let plan = actuate(&inst, &sched, DownPolicy::Lifo);
+        assert!(plan.commands.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn replay_detects_corruption() {
+        let (inst, sched) = setup();
+        let mut plan = actuate(&inst, &sched, DownPolicy::Lifo);
+        // Corrupt: drop the last command.
+        plan.commands.pop();
+        assert!(!replay_matches(&inst, &sched, &plan));
+    }
+}

@@ -1,0 +1,258 @@
+//! Algorithm A — time-independent operating costs (Section 2).
+//!
+//! At every slot the algorithm computes `x̂^t_t`, the final configuration
+//! of an optimal schedule for the prefix instance `I_t`, and raises its
+//! own active counts to at least that level. Every server it powers up
+//! runs for **exactly** `t̄_j = ⌈β_j / f_j(0)⌉` slots and is then shut
+//! down, used or not — the ski-rental rule: once the accumulated idle
+//! cost would exceed the switching cost, stop paying it.
+//!
+//! Theorem 8: the resulting schedule is `(2d+1)`-competitive. When the
+//! costs are also load-independent the load-dependent term vanishes and
+//! the ratio is the optimal `2d` (Corollary 9).
+//!
+//! Pseudocode (paper, Algorithm 1):
+//!
+//! ```text
+//! for t = 1..T:
+//!   compute x̂^t  (prefix optimum)
+//!   for j = 1..d:
+//!     x_j -= w_{t−t̄_j, j}              // retire expired servers
+//!     if x_j ≤ x̂^t_j:
+//!       w_{t,j} = x̂^t_j − x_j; x_j = x̂^t_j   // power up to the prefix optimum
+//! ```
+
+use rsz_core::{Config, GtOracle, Instance};
+use rsz_offline::{DpOptions, GridMode, PrefixDp};
+
+use crate::runner::OnlineAlgorithm;
+
+/// Options for [`AlgorithmA`].
+#[derive(Clone, Copy, Debug)]
+pub struct AOptions {
+    /// Grid used by the internal prefix-optimal solver. `Full` gives the
+    /// paper's algorithm; `Gamma(γ)` trades the guarantee for speed on
+    /// large fleets (the prefix optima become (2γ−1)-approximate).
+    pub grid: GridMode,
+    /// Parallelize the prefix DP's dispatch solves.
+    pub parallel: bool,
+}
+
+impl Default for AOptions {
+    fn default() -> Self {
+        Self { grid: GridMode::Full, parallel: false }
+    }
+}
+
+/// Algorithm A (deterministic, `(2d+1)`-competitive).
+#[derive(Debug)]
+pub struct AlgorithmA<O> {
+    oracle: O,
+    prefix: PrefixDp,
+    /// Current active servers per type.
+    x: Vec<u32>,
+    /// Power-up log: `w[t][j]` servers of type `j` powered up at slot `t`.
+    w: Vec<Vec<u32>>,
+    /// Deterministic runtimes `t̄_j`; `None` = never power down
+    /// (`f_j(0) = 0`, idling is free).
+    tbar: Vec<Option<usize>>,
+}
+
+impl<O: GtOracle + Sync> AlgorithmA<O> {
+    /// Set up Algorithm A for an instance.
+    ///
+    /// # Panics
+    /// Panics if the instance has time-dependent operating costs — that
+    /// is Algorithm B/C territory (Section 3).
+    #[must_use]
+    pub fn new(instance: &Instance, oracle: O, options: AOptions) -> Self {
+        assert!(
+            instance.is_time_independent(),
+            "Algorithm A requires time-independent operating costs; use Algorithm B/C"
+        );
+        let d = instance.num_types();
+        let tbar = (0..d)
+            .map(|j| {
+                let idle = instance.idle_cost(0, j);
+                let beta = instance.switching_cost(j);
+                if idle <= 0.0 {
+                    None // idling is free: the ski-rental threshold is never reached
+                } else {
+                    // ⌈β/l⌉ slots, at least one (a server always lives
+                    // through the slot it was powered up for).
+                    Some(((beta / idle).ceil() as usize).max(1))
+                }
+            })
+            .collect();
+        Self {
+            oracle,
+            prefix: PrefixDp::new(instance, DpOptions { grid: options.grid, parallel: options.parallel }),
+            x: vec![0; d],
+            w: Vec::new(),
+            tbar,
+        }
+    }
+
+    /// The deterministic runtime `t̄_j` of servers of type `j`
+    /// (`None` = unbounded).
+    #[must_use]
+    pub fn runtime(&self, j: usize) -> Option<usize> {
+        self.tbar[j]
+    }
+
+    /// The power-up log `w` (`w[t][j]` = servers of type `j` powered up at
+    /// slot `t`) — the raw material of the block decomposition
+    /// ([`crate::blocks`]).
+    #[must_use]
+    pub fn power_up_log(&self) -> &[Vec<u32>] {
+        &self.w
+    }
+
+    /// The prefix-optimal target `x̂^t_t` most recently computed.
+    #[must_use]
+    pub fn prefix_opt_cost(&self) -> f64 {
+        self.prefix.prefix_opt_cost()
+    }
+}
+
+impl<O: GtOracle + Sync> OnlineAlgorithm for AlgorithmA<O> {
+    fn name(&self) -> String {
+        "Algorithm A".into()
+    }
+
+    fn decide(&mut self, instance: &Instance, t: usize) -> Config {
+        debug_assert_eq!(t, self.w.len(), "slots must arrive in order");
+        let d = self.x.len();
+        let xhat = self.prefix.step(instance, &self.oracle, t);
+        let mut w_t = vec![0u32; d];
+        #[allow(clippy::needless_range_loop)] // j indexes x, w_t, tbar and xhat
+        for j in 0..d {
+            // Retire servers whose t̄_j-slot lifetime has expired.
+            if let Some(tb) = self.tbar[j] {
+                if t >= tb {
+                    let expired = self.w[t - tb][j];
+                    debug_assert!(self.x[j] >= expired);
+                    self.x[j] -= expired;
+                }
+            }
+            // Raise to the prefix optimum.
+            if self.x[j] <= xhat.count(j) {
+                w_t[j] = xhat.count(j) - self.x[j];
+                self.x[j] = xhat.count(j);
+            }
+        }
+        self.w.push(w_t);
+        Config::new(self.x.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, run_with_prefix_revelation};
+    use rsz_core::{CostModel, ServerType};
+    use rsz_dispatch::Dispatcher;
+    use rsz_offline::dp::{solve, DpOptions as OffOptions};
+
+    fn simple(loads: Vec<f64>, beta: f64, idle: f64) -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 4, beta, 1.0, CostModel::constant(idle)))
+            .loads(loads)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runtime_is_ski_rental_threshold() {
+        let inst = simple(vec![1.0], 5.0, 2.0);
+        let a = AlgorithmA::new(&inst, Dispatcher::new(), AOptions::default());
+        assert_eq!(a.runtime(0), Some(3)); // ⌈5/2⌉
+        let inst = simple(vec![1.0], 5.0, 0.0);
+        let a = AlgorithmA::new(&inst, Dispatcher::new(), AOptions::default());
+        assert_eq!(a.runtime(0), None);
+    }
+
+    #[test]
+    fn dominates_prefix_optimum_and_is_feasible() {
+        let inst = simple(vec![1.0, 3.0, 0.0, 0.0, 2.0, 4.0, 0.0, 1.0], 3.0, 1.0);
+        let oracle = Dispatcher::new();
+        let mut a = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let run = run(&inst, &mut a, &oracle);
+        run.schedule.check_feasible(&inst).unwrap();
+    }
+
+    #[test]
+    fn servers_run_exactly_tbar_slots() {
+        // Single spike: prefix optimum powers up then drops to 0; A keeps
+        // the servers for exactly t̄ = ⌈β/l⌉ = 3 slots.
+        let inst = simple(vec![2.0, 0.0, 0.0, 0.0, 0.0, 0.0], 3.0, 1.0);
+        let oracle = Dispatcher::new();
+        let mut a = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let run = run(&inst, &mut a, &oracle);
+        assert_eq!(
+            run.schedule.configs().iter().map(|c| c.count(0)).collect::<Vec<_>>(),
+            vec![2, 2, 2, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn competitive_bound_holds() {
+        let oracle = Dispatcher::new();
+        let loads = vec![1.0, 4.0, 0.0, 2.0, 4.0, 0.0, 0.0, 3.0, 1.0, 0.0];
+        let inst = Instance::builder()
+            .server_type(ServerType::new("s", 4, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .server_type(ServerType::new("f", 2, 6.0, 3.0, CostModel::linear(1.0, 0.5)))
+            .loads(loads)
+            .build()
+            .unwrap();
+        let mut a = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let online = run(&inst, &mut a, &oracle);
+        let opt = solve(&inst, &oracle, OffOptions { parallel: false, ..Default::default() });
+        let bound = (2.0 * 2.0 + 1.0) * opt.cost;
+        assert!(
+            online.cost() <= bound + 1e-9,
+            "A cost {} exceeds (2d+1)·OPT = {bound}",
+            online.cost()
+        );
+    }
+
+    #[test]
+    fn is_genuinely_online() {
+        let inst = simple(vec![1.0, 3.0, 0.0, 2.0, 4.0], 3.0, 1.0);
+        let oracle = Dispatcher::new();
+        let mut a1 = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let full = run(&inst, &mut a1, &oracle);
+        let mut a2 = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let revealed = run_with_prefix_revelation(&inst, &mut a2, &oracle);
+        assert_eq!(full.schedule, revealed.schedule);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-independent")]
+    fn rejects_time_dependent_costs() {
+        let spec = rsz_core::CostSpec::scaled(CostModel::constant(1.0), vec![1.0, 2.0]);
+        let inst = Instance::builder()
+            .server_type(ServerType::with_spec("a", 1, 1.0, 1.0, spec))
+            .loads(vec![0.5, 0.5])
+            .build()
+            .unwrap();
+        let _ = AlgorithmA::new(&inst, Dispatcher::new(), AOptions::default());
+    }
+
+    #[test]
+    fn gamma_backend_still_feasible() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 50, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .loads(vec![10.0, 45.0, 3.0, 20.0, 0.0, 50.0])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let mut a = AlgorithmA::new(
+            &inst,
+            oracle,
+            AOptions { grid: GridMode::Gamma(1.5), parallel: false },
+        );
+        let run = run(&inst, &mut a, &oracle);
+        run.schedule.check_feasible(&inst).unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! Receding-horizon control (RHC) — the prediction-based comparison
+//! point.
+//!
+//! Classic model-predictive provisioning (Lin et al. compare LCP against
+//! exactly this): at slot `t` the controller sees a forecast window of
+//! `w` future slots, solves the right-sizing DP over `[t, t+w]` starting
+//! from its current configuration, commits the first step, and repeats.
+//!
+//! **RHC is not an online algorithm in the adversarial sense** — it reads
+//! future loads and cost functions inside its window, so it carries no
+//! competitive guarantee against an adversary that invalidates forecasts
+//! (and `run_with_prefix_revelation` will panic on it by design). It is
+//! included as the "what if we had w slots of perfect prediction"
+//! baseline in the experiments.
+
+use rsz_core::{Config, GtOracle, Instance};
+use rsz_offline::dp::{backtrack_window, betas, dp_step, DpOptions};
+use rsz_offline::table::Table;
+use rsz_offline::GridMode;
+
+use crate::runner::OnlineAlgorithm;
+
+/// Receding-horizon (model-predictive) provisioning with a perfect
+/// forecast of the next `window` slots.
+#[derive(Debug)]
+pub struct RecedingHorizon<O> {
+    oracle: O,
+    /// Forecast window length `w ≥ 1` (1 = myopic with switching).
+    pub window: usize,
+    /// Grid for the window DP.
+    pub grid: GridMode,
+    prev: Option<Config>,
+}
+
+impl<O: GtOracle + Sync> RecedingHorizon<O> {
+    /// RHC with a `window`-slot perfect forecast on the full grid.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(oracle: O, window: usize) -> Self {
+        assert!(window >= 1, "window must be at least one slot");
+        Self { oracle, window, grid: GridMode::Full, prev: None }
+    }
+
+    /// Use a γ-grid for the window DP (large fleets).
+    #[must_use]
+    pub fn with_grid(mut self, grid: GridMode) -> Self {
+        self.grid = grid;
+        self
+    }
+}
+
+impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
+    fn name(&self) -> String {
+        format!("RHC(w={})", self.window)
+    }
+
+    fn decide(&mut self, instance: &Instance, t: usize) -> Config {
+        let d = instance.num_types();
+        let end = (t + self.window).min(instance.horizon());
+        let b = betas(instance);
+        let opts = DpOptions { grid: self.grid, parallel: false };
+        // Start the window DP from a point mass at the current state: the
+        // arrival transform prices power-ups relative to it for free.
+        let start = self.prev.clone().unwrap_or_else(|| Config::zeros(d));
+        let mut point_levels: Vec<Vec<u32>> = Vec::with_capacity(d);
+        for j in 0..d {
+            point_levels.push(vec![start.count(j)]);
+        }
+        let mut point = Table::new(point_levels, f64::INFINITY);
+        point.values_mut()[0] = 0.0;
+
+        let mut tables: Vec<Table> = Vec::with_capacity(end - t);
+        for u in t..end {
+            let prev = tables.last().unwrap_or(&point);
+            tables.push(dp_step(prev, instance, &self.oracle, u, &b, opts));
+        }
+        let plan = backtrack_window(instance, &tables);
+        let choice = plan.schedule.config(0).clone();
+        self.prev = Some(choice.clone());
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+    use rsz_core::{CostModel, ServerType};
+    use rsz_dispatch::Dispatcher;
+    use rsz_offline::dp::{solve, DpOptions as OffOptions};
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .server_type(ServerType::new("b", 2, 4.0, 2.0, CostModel::constant(1.2)))
+            .loads(vec![1.0, 4.0, 0.0, 2.0, 5.0, 1.0, 0.0, 3.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn rhc_is_feasible() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        for w in [1, 2, 4, 16] {
+            let mut rhc = RecedingHorizon::new(oracle, w);
+            let outcome = run(&inst, &mut rhc, &oracle);
+            outcome.schedule.check_feasible(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_horizon_window_recovers_near_optimal_cost() {
+        // RHC with window ≥ T re-plans from the committed state each
+        // slot; its first plan IS an optimal schedule, and re-planning
+        // from a state on an optimal trajectory stays optimal.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let opt = solve(&inst, &oracle, OffOptions { parallel: false, ..Default::default() });
+        let mut rhc = RecedingHorizon::new(oracle, inst.horizon());
+        let outcome = run(&inst, &mut rhc, &oracle);
+        assert!(
+            (outcome.cost() - opt.cost).abs() < 1e-9,
+            "RHC(T) {} vs OPT {}",
+            outcome.cost(),
+            opt.cost
+        );
+    }
+
+    #[test]
+    fn longer_windows_do_not_hurt_on_smooth_loads() {
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 4, 3.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .loads(vec![1.0, 2.0, 3.0, 4.0, 3.0, 2.0, 1.0, 0.0])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let short = run(&inst, &mut RecedingHorizon::new(oracle, 1), &oracle);
+        let long = run(&inst, &mut RecedingHorizon::new(oracle, 8), &oracle);
+        assert!(long.cost() <= short.cost() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_zero_window() {
+        let _ = RecedingHorizon::new(Dispatcher::new(), 0);
+    }
+}

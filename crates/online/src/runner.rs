@@ -1,0 +1,143 @@
+//! Driving online algorithms over instances.
+
+use rsz_core::objective::{evaluate, CostBreakdown};
+use rsz_core::{Config, GtOracle, Instance, Schedule};
+
+/// An online right-sizing algorithm.
+///
+/// The runner calls [`OnlineAlgorithm::decide`] once per slot in order.
+/// Implementations must only inspect instance data for slots `≤ t`
+/// (loads, cost functions, fleet sizes): the instance object carries the
+/// full future for convenience, but peeking would forfeit the online
+/// guarantee. [`run_with_prefix_revelation`] exists to catch violations:
+/// it hands the algorithm physically truncated instances.
+pub trait OnlineAlgorithm {
+    /// Short display name ("A", "B(ε)", "all-on", …).
+    fn name(&self) -> String;
+
+    /// Choose the configuration for slot `t`.
+    fn decide(&mut self, instance: &Instance, t: usize) -> Config;
+}
+
+/// The outcome of an online run.
+#[derive(Clone, Debug)]
+pub struct OnlineRun {
+    /// Display name of the algorithm that produced the run.
+    pub name: String,
+    /// The schedule the algorithm committed to.
+    pub schedule: Schedule,
+    /// Its cost, split into operating and switching parts.
+    pub breakdown: CostBreakdown,
+}
+
+impl OnlineRun {
+    /// Total cost of the run.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.breakdown.total()
+    }
+
+    /// Empirical competitive ratio against a given optimum.
+    ///
+    /// Returns 1 when both costs are zero (empty workloads).
+    #[must_use]
+    pub fn ratio_vs(&self, opt_cost: f64) -> f64 {
+        if opt_cost == 0.0 {
+            if self.cost() == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.cost() / opt_cost
+        }
+    }
+}
+
+/// Run `algo` over the whole instance and price the result.
+pub fn run(
+    instance: &Instance,
+    algo: &mut dyn OnlineAlgorithm,
+    oracle: &dyn GtOracle,
+) -> OnlineRun {
+    let mut schedule = Schedule::empty();
+    for t in 0..instance.horizon() {
+        schedule.push(algo.decide(instance, t));
+    }
+    let breakdown = evaluate(instance, &schedule, oracle);
+    OnlineRun { name: algo.name(), schedule, breakdown }
+}
+
+/// Run `algo` handing it only the *revealed prefix* `I_{t+1}` at each
+/// step: any attempt to read beyond slot `t` panics on the truncated
+/// instance. Slower (clones per slot); used by tests to certify that an
+/// implementation is genuinely online.
+pub fn run_with_prefix_revelation(
+    instance: &Instance,
+    algo: &mut dyn OnlineAlgorithm,
+    oracle: &dyn GtOracle,
+) -> OnlineRun {
+    let mut schedule = Schedule::empty();
+    for t in 0..instance.horizon() {
+        let revealed = instance.truncated(t + 1);
+        schedule.push(algo.decide(&revealed, t));
+    }
+    let breakdown = evaluate(instance, &schedule, oracle);
+    OnlineRun { name: algo.name(), schedule, breakdown }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsz_core::{CostModel, ServerType};
+    use rsz_dispatch::Dispatcher;
+
+    /// Trivial always-max algorithm for runner plumbing tests.
+    struct AllOn;
+    impl OnlineAlgorithm for AllOn {
+        fn name(&self) -> String {
+            "all-on".into()
+        }
+        fn decide(&mut self, instance: &Instance, t: usize) -> Config {
+            Config::new(instance.server_counts_at(t))
+        }
+    }
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 2, 3.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![1.0, 2.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runner_collects_schedule_and_costs() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let run = run(&inst, &mut AllOn, &oracle);
+        assert_eq!(run.schedule.len(), 3);
+        assert_eq!(run.schedule.count(0, 0), 2);
+        // switching: 2 power-ups once (6); operating: 2 servers × 3 slots × idle 1
+        assert!((run.cost() - 12.0).abs() < 1e-9);
+        assert_eq!(run.name, "all-on");
+    }
+
+    #[test]
+    fn ratio_handles_zero_opt() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let r = run(&inst, &mut AllOn, &oracle);
+        assert!((r.ratio_vs(6.0) - 2.0).abs() < 1e-12);
+        assert_eq!(r.ratio_vs(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn prefix_revelation_matches_full_run_for_online_algo() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let full = run(&inst, &mut AllOn, &oracle);
+        let revealed = run_with_prefix_revelation(&inst, &mut AllOn, &oracle);
+        assert_eq!(full.schedule, revealed.schedule);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the online algorithms: feasibility (Lemmas 1
+//! and 10), the domination invariant, and the theorem-level competitive
+//! bounds on randomized instances.
+
+use proptest::prelude::*;
+use rsz_core::{Config, CostModel, CostSpec, Instance, ServerType};
+use rsz_dispatch::Dispatcher;
+use rsz_offline::dp::{solve_cost_only, DpOptions};
+use rsz_offline::{GridMode, PrefixDp};
+use rsz_online::algo_a::{AOptions, AlgorithmA};
+use rsz_online::algo_b::{c_constant, AlgorithmB};
+use rsz_online::algo_c::{AlgorithmC, COptions};
+use rsz_online::runner::{run, OnlineAlgorithm};
+
+#[derive(Clone, Debug)]
+struct Spec {
+    d: usize,
+    counts: Vec<u32>,
+    betas: Vec<f64>,
+    idles: Vec<f64>,
+    load_fracs: Vec<f64>,
+    price: Vec<f64>,
+}
+
+fn spec_strategy(max_d: usize, max_t: usize) -> impl Strategy<Value = Spec> {
+    (1..=max_d).prop_flat_map(move |d| {
+        (
+            prop::collection::vec(1u32..=3, d..=d),
+            prop::collection::vec(0.1..4.0_f64, d..=d),
+            prop::collection::vec(0.1..2.0_f64, d..=d),
+            prop::collection::vec(0.0..1.0_f64, 2..=max_t),
+            prop::collection::vec(0.2..2.5_f64, max_t..=max_t),
+        )
+            .prop_map(move |(counts, betas, idles, load_fracs, price)| Spec {
+                d,
+                counts,
+                betas,
+                idles,
+                load_fracs,
+                price,
+            })
+    })
+}
+
+fn time_independent(spec: &Spec) -> Instance {
+    let types: Vec<ServerType> = (0..spec.d)
+        .map(|j| {
+            ServerType::new(
+                format!("t{j}"),
+                spec.counts[j],
+                spec.betas[j],
+                1.0 + j as f64,
+                CostModel::linear(spec.idles[j], 0.5),
+            )
+        })
+        .collect();
+    let cap: f64 = types.iter().map(ServerType::fleet_capacity).sum();
+    Instance::builder()
+        .server_types(types)
+        .loads(spec.load_fracs.iter().map(|f| f * cap).collect::<Vec<_>>())
+        .build()
+        .expect("feasible by construction")
+}
+
+fn time_dependent(spec: &Spec) -> Instance {
+    let horizon = spec.load_fracs.len();
+    let types: Vec<ServerType> = (0..spec.d)
+        .map(|j| {
+            ServerType::with_spec(
+                format!("t{j}"),
+                spec.counts[j],
+                spec.betas[j],
+                1.0 + j as f64,
+                CostSpec::scaled(
+                    CostModel::linear(spec.idles[j], 0.5),
+                    spec.price[..horizon].to_vec(),
+                ),
+            )
+        })
+        .collect();
+    let cap: f64 = types.iter().map(ServerType::fleet_capacity).sum();
+    Instance::builder()
+        .server_types(types)
+        .loads(spec.load_fracs.iter().map(|f| f * cap).collect::<Vec<_>>())
+        .build()
+        .expect("feasible by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 1: Algorithm A's schedule is always feasible and dominates
+    /// the prefix optima computed by an identical reference solver.
+    #[test]
+    fn algorithm_a_feasible_and_dominating(spec in spec_strategy(2, 8)) {
+        let inst = time_independent(&spec);
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmA::new(&inst, oracle, AOptions::default());
+        // Reference prefix solver running in lockstep.
+        let mut reference = PrefixDp::new(&inst, DpOptions { parallel: false, ..Default::default() });
+        let mut schedule = Vec::new();
+        for t in 0..inst.horizon() {
+            let x = algo.decide(&inst, t);
+            let xhat = reference.step(&inst, &oracle, t);
+            prop_assert!(x.dominates(&xhat), "t={t}: {x:?} !≥ {xhat:?}");
+            prop_assert!(inst.is_admissible(t, &x));
+            schedule.push(x);
+        }
+        prop_assert!(rsz_core::Schedule::new(schedule).is_feasible(&inst));
+    }
+
+    /// Theorem 8: C(X^A) ≤ (2d+1)·OPT on random instances.
+    #[test]
+    fn theorem_8_bound(spec in spec_strategy(2, 8)) {
+        let inst = time_independent(&spec);
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let outcome = run(&inst, &mut algo, &oracle);
+        let opt = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let bound = (2.0 * spec.d as f64 + 1.0) * opt;
+        prop_assert!(outcome.cost() <= bound + 1e-6, "{} > {bound}", outcome.cost());
+    }
+
+    /// Corollary 9: with constant (load-independent) costs the bound
+    /// tightens to 2d.
+    #[test]
+    fn corollary_9_bound(spec in spec_strategy(2, 8)) {
+        let types: Vec<ServerType> = (0..spec.d)
+            .map(|j| {
+                ServerType::new(
+                    format!("t{j}"),
+                    spec.counts[j],
+                    spec.betas[j],
+                    1.0 + j as f64,
+                    CostModel::constant(spec.idles[j]),
+                )
+            })
+            .collect();
+        let cap: f64 = types.iter().map(ServerType::fleet_capacity).sum();
+        let inst = Instance::builder()
+            .server_types(types)
+            .loads(spec.load_fracs.iter().map(|f| f * cap).collect::<Vec<_>>())
+            .build()
+            .expect("feasible");
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let outcome = run(&inst, &mut algo, &oracle);
+        let opt = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let bound = 2.0 * spec.d as f64 * opt;
+        prop_assert!(outcome.cost() <= bound + 1e-6, "{} > {bound}", outcome.cost());
+    }
+
+    /// Lemma 10 + Theorem 13 for Algorithm B on time-dependent costs.
+    #[test]
+    fn theorem_13_bound(spec in spec_strategy(2, 8)) {
+        let inst = time_dependent(&spec);
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmB::new(&inst, oracle, AOptions::default());
+        let outcome = run(&inst, &mut algo, &oracle);
+        prop_assert!(outcome.schedule.is_feasible(&inst));
+        let opt = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let bound = (2.0 * spec.d as f64 + 1.0 + c_constant(&inst)) * opt;
+        prop_assert!(outcome.cost() <= bound + 1e-6, "{} > {bound}", outcome.cost());
+    }
+
+    /// Theorem 15 for Algorithm C, including c(Ĩ) ≤ ε.
+    #[test]
+    fn theorem_15_bound(spec in spec_strategy(1, 6), eps in 0.3..1.5_f64) {
+        let inst = time_dependent(&spec);
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmC::new(&inst, oracle, COptions { epsilon: eps, ..Default::default() });
+        let outcome = run(&inst, &mut algo, &oracle);
+        prop_assert!(outcome.schedule.is_feasible(&inst));
+        prop_assert!(algo.realized_c() <= eps + 1e-9);
+        let opt = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let bound = (2.0 * spec.d as f64 + 1.0 + eps) * opt;
+        prop_assert!(outcome.cost() <= bound + 1e-6, "{} > {bound}", outcome.cost());
+    }
+
+    /// Online decisions never depend on the future: running with
+    /// physically truncated instances yields the identical schedule.
+    #[test]
+    fn algorithms_are_online(spec in spec_strategy(2, 6)) {
+        let inst = time_dependent(&spec);
+        let oracle = Dispatcher::new();
+
+        let mut b1 = AlgorithmB::new(&inst, oracle, AOptions::default());
+        let full = run(&inst, &mut b1, &oracle);
+        let mut b2 = AlgorithmB::new(&inst, oracle, AOptions::default());
+        let revealed = rsz_online::runner::run_with_prefix_revelation(&inst, &mut b2, &oracle);
+        prop_assert_eq!(full.schedule, revealed.schedule);
+    }
+
+    /// The γ-backend variant of Algorithm A stays feasible and dominates
+    /// its own (approximate) prefix targets.
+    #[test]
+    fn gamma_backend_feasible(spec in spec_strategy(2, 6)) {
+        let inst = time_independent(&spec);
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmA::new(
+            &inst,
+            oracle,
+            AOptions { grid: GridMode::Gamma(1.5), parallel: false },
+        );
+        let outcome = run(&inst, &mut algo, &oracle);
+        prop_assert!(outcome.schedule.is_feasible(&inst));
+    }
+
+    /// Algorithm A's active set only changes through retire/raise: the
+    /// count never drops below the prefix optimum and never exceeds the
+    /// running maximum of targets.
+    #[test]
+    fn algorithm_a_counts_bounded_by_target_history(spec in spec_strategy(1, 8)) {
+        let inst = time_independent(&spec);
+        let oracle = Dispatcher::new();
+        let mut algo = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let mut reference = PrefixDp::new(&inst, DpOptions { parallel: false, ..Default::default() });
+        let mut hist_max = Config::zeros(inst.num_types());
+        for t in 0..inst.horizon() {
+            let x = algo.decide(&inst, t);
+            let xhat = reference.step(&inst, &oracle, t);
+            hist_max = hist_max.max_with(&xhat);
+            prop_assert!(hist_max.dominates(&x), "t={t}: {x:?} exceeds history {hist_max:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Adversarial workload families.
+//!
+//! The competitive-ratio experiments need inputs that *hurt*: loads that
+//! oscillate across provisioning boundaries with periods tuned to the
+//! ski-rental horizon `t̄_j = ⌈β_j/l_j⌉`, so an online algorithm keeps
+//! paying either idle cost or switching cost whichever way it decides.
+//! The true `2d` lower-bound construction of Albers & Quedenfeld
+//! (CIAC'21) is not specified in this paper; these families are the
+//! closest published-behaviour equivalents and the ratio experiments
+//! additionally randomize over their parameters to search for bad cases
+//! (documented in EXPERIMENTS.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::Trace;
+
+/// Duty-cycle trace matched to a ski-rental horizon: load `high` for one
+/// slot, then `gap` zero slots, repeated. With `gap ≈ t̄_j` the online
+/// algorithm's keep-or-kill decision is maximally ambiguous.
+#[must_use]
+pub fn ski_rental_probe(len: usize, high: f64, gap: usize) -> Trace {
+    Trace::new(
+        (0..len)
+            .map(|t| if t % (gap + 1) == 0 { high } else { 0.0 })
+            .collect(),
+    )
+}
+
+/// Sawtooth oscillation between two levels with randomized dwell times —
+/// crosses the provisioning boundary between `lo_servers` and
+/// `hi_servers` worth of load over and over.
+#[must_use]
+pub fn boundary_sawtooth(
+    len: usize,
+    lo: f64,
+    hi: f64,
+    min_dwell: usize,
+    max_dwell: usize,
+    seed: u64,
+) -> Trace {
+    assert!(min_dwell >= 1 && max_dwell >= min_dwell);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(len);
+    let mut high_phase = false;
+    while values.len() < len {
+        let dwell = rng.gen_range(min_dwell..=max_dwell);
+        let level = if high_phase { hi } else { lo };
+        for _ in 0..dwell {
+            if values.len() == len {
+                break;
+            }
+            values.push(level);
+        }
+        high_phase = !high_phase;
+    }
+    Trace::new(values)
+}
+
+/// Staircase that climbs one "server's worth" at a time then collapses —
+/// forces a sequence of single power-ups followed by a mass power-down,
+/// the pattern behind the lower-bound instances of the homogeneous case.
+#[must_use]
+pub fn staircase(len: usize, step_height: f64, steps: usize, dwell: usize) -> Trace {
+    assert!(steps >= 1 && dwell >= 1);
+    let period = steps * dwell + dwell;
+    Trace::new(
+        (0..len)
+            .map(|t| {
+                let phase = t % period;
+                let level = phase / dwell;
+                if level < steps {
+                    step_height * (level + 1) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Randomized adversary: i.i.d. uniform loads in `[0, max]` but with
+/// probability `p_zero` the slot is forced to zero — jitter that defeats
+/// smoothing heuristics.
+#[must_use]
+pub fn jitter(len: usize, max: f64, p_zero: f64, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Trace::new(
+        (0..len)
+            .map(|_| {
+                if rng.gen::<f64>() < p_zero {
+                    0.0
+                } else {
+                    rng.gen_range(0.0..=max)
+                }
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ski_rental_probe_period() {
+        let t = ski_rental_probe(7, 2.0, 2);
+        assert_eq!(t.values(), &[2.0, 0.0, 0.0, 2.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn sawtooth_alternates() {
+        let t = boundary_sawtooth(20, 1.0, 3.0, 2, 2, 1);
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.values()[0], 1.0);
+        assert_eq!(t.values()[2], 3.0);
+        assert_eq!(t.values()[4], 1.0);
+    }
+
+    #[test]
+    fn staircase_climbs_and_drops() {
+        let t = staircase(8, 1.0, 3, 1);
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0, 0.0, 1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn jitter_has_zeros_and_positives() {
+        let t = jitter(200, 5.0, 0.3, 3);
+        assert!(t.values().contains(&0.0));
+        assert!(t.values().iter().any(|&v| v > 0.0));
+        assert!(t.peak() <= 5.0);
+    }
+}

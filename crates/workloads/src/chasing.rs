@@ -1,0 +1,156 @@
+//! The general convex-function-chasing lower bound (Section 1).
+//!
+//! The paper motivates restricting operating costs to the form of
+//! equation (1) by showing that *general* convex function chasing in the
+//! discrete setting is hopeless: with `m_j = 1`, `β_j = 1` the state
+//! space is the hypercube `{0,1}^d`, and an adversary that makes the
+//! online algorithm's current position infinitely expensive each slot
+//! forces total switching cost `Ω(2^d)` over `T = 2^d − 1` slots, while
+//! an offline player moves once (cost ≤ d) to a position that is never
+//! hit. Competitive ratio: `Ω(2^d / d)`.
+//!
+//! This module simulates that game for any deterministic escape policy
+//! and reports the realized ratio — the `fig_chasing_lb` experiment plots
+//! its exponential growth in `d`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the online player escapes its zapped position.
+#[derive(Clone, Copy, Debug)]
+pub enum EscapePolicy {
+    /// Flip the lowest set bit if any (free power-down), else the lowest
+    /// unset bit (cheapest deterministic policy).
+    PreferPowerDown,
+    /// Flip a uniformly random bit.
+    RandomBit(u64),
+    /// Cycle through bit positions round-robin.
+    RoundRobin,
+}
+
+/// Outcome of one chasing game.
+#[derive(Clone, Debug)]
+pub struct ChasingOutcome {
+    /// Number of dimensions (server types with `m_j = 1`).
+    pub d: usize,
+    /// Slots played: `2^d − 1`.
+    pub horizon: usize,
+    /// Total power-up cost paid by the online player.
+    pub online_cost: f64,
+    /// Cost of the offline strategy (move once to an unvisited vertex).
+    pub offline_cost: f64,
+}
+
+impl ChasingOutcome {
+    /// Realized competitive ratio (∞ if offline cost is 0, which happens
+    /// only when the origin itself is never zapped).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.offline_cost == 0.0 {
+            if self.online_cost == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.online_cost / self.offline_cost
+        }
+    }
+}
+
+/// Play the hypercube chasing game in dimension `d` (`d ≤ 20` keeps the
+/// visited-set tractable).
+///
+/// # Panics
+/// Panics if `d` is 0 or greater than 20.
+#[must_use]
+pub fn play(d: usize, policy: EscapePolicy) -> ChasingOutcome {
+    assert!((1..=20).contains(&d), "d must be in 1..=20");
+    let horizon = (1usize << d) - 1;
+    let mut visited = vec![false; 1 << d];
+    let mut pos: u32 = 0; // start all-off
+    let mut online_cost = 0.0;
+    let mut rng = match policy {
+        EscapePolicy::RandomBit(seed) => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut rr = 0usize;
+    for _ in 0..horizon {
+        visited[pos as usize] = true; // adversary zaps the current vertex
+        let bit = match policy {
+            EscapePolicy::PreferPowerDown => {
+                if pos != 0 {
+                    pos.trailing_zeros() as usize // lowest set bit → power-down
+                } else {
+                    0 // forced power-up of bit 0
+                }
+            }
+            EscapePolicy::RandomBit(_) => {
+                rng.as_mut().expect("rng initialized").gen_range(0..d)
+            }
+            EscapePolicy::RoundRobin => {
+                let b = rr;
+                rr = (rr + 1) % d;
+                b
+            }
+        };
+        let mask = 1u32 << bit;
+        if pos & mask == 0 {
+            online_cost += 1.0; // power-up costs β = 1
+        }
+        pos ^= mask;
+    }
+    // Offline: move once (at the start) to a vertex that is never zapped.
+    let refuge = visited
+        .iter()
+        .position(|&v| !v)
+        .expect("2^d vertices, only 2^d − 1 zapped") as u32;
+    let offline_cost = f64::from(refuge.count_ones());
+    ChasingOutcome { d, horizon, online_cost, offline_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_pays_many_ups_offline_at_most_d() {
+        for d in 1..=8 {
+            for policy in [
+                EscapePolicy::PreferPowerDown,
+                EscapePolicy::RandomBit(7),
+                EscapePolicy::RoundRobin,
+            ] {
+                let out = play(d, policy);
+                assert!(out.offline_cost <= d as f64);
+                // at least half the moves are power-ups
+                assert!(
+                    out.online_cost >= (out.horizon as f64) / 2.0 - 1.0,
+                    "d={d} {policy:?}: {out:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_grows_exponentially() {
+        let r4 = play(4, EscapePolicy::RoundRobin).ratio();
+        let r8 = play(8, EscapePolicy::RoundRobin).ratio();
+        let r12 = play(12, EscapePolicy::RoundRobin).ratio();
+        assert!(r8 > 2.0 * r4, "r4={r4} r8={r8}");
+        assert!(r12 > 2.0 * r8, "r8={r8} r12={r12}");
+    }
+
+    #[test]
+    fn deterministic_policies_are_reproducible() {
+        let a = play(6, EscapePolicy::RandomBit(3));
+        let b = play(6, EscapePolicy::RandomBit(3));
+        assert_eq!(a.online_cost, b.online_cost);
+        assert_eq!(a.offline_cost, b.offline_cost);
+    }
+
+    #[test]
+    fn horizon_is_2_pow_d_minus_1() {
+        assert_eq!(play(5, EscapePolicy::RoundRobin).horizon, 31);
+    }
+}

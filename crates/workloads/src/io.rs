@@ -1,0 +1,151 @@
+//! Plain-text (CSV) import/export for traces and schedules.
+//!
+//! Deliberately dependency-free: one value per line for traces
+//! (`# comment` lines allowed), comma-separated per-type counts per line
+//! for schedules. Enough to round-trip experiment artifacts and to feed
+//! real production traces into the solvers.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use rsz_core::{Config, Schedule};
+
+use crate::trace::Trace;
+
+/// Write a trace as one value per line, with a header comment.
+pub fn write_trace(path: &Path, trace: &Trace) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# job volume per slot; {} slots", trace.len())?;
+    for v in trace.values() {
+        writeln!(out, "{v}")?;
+    }
+    Ok(())
+}
+
+/// Read a trace written by [`write_trace`] (or any one-number-per-line
+/// file; `#`-prefixed lines and blank lines are skipped).
+///
+/// # Errors
+/// I/O errors propagate; unparsable lines produce `InvalidData`.
+pub fn read_trace(path: &Path) -> std::io::Result<Trace> {
+    let file = std::fs::File::open(path)?;
+    let mut values = Vec::new();
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let v: f64 = s.parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        values.push(v);
+    }
+    Ok(Trace::new(values))
+}
+
+/// Write a schedule as CSV: one line per slot, comma-separated per-type
+/// active counts.
+pub fn write_schedule(path: &Path, schedule: &Schedule) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# active servers per slot; columns = server types")?;
+    for (_, cfg) in schedule.iter() {
+        let row: Vec<String> = cfg.counts().iter().map(u32::to_string).collect();
+        writeln!(out, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read a schedule written by [`write_schedule`].
+///
+/// # Errors
+/// I/O errors propagate; ragged rows or unparsable counts produce
+/// `InvalidData`.
+pub fn read_schedule(path: &Path) -> std::io::Result<Schedule> {
+    let file = std::fs::File::open(path)?;
+    let mut steps: Vec<Config> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let counts: Result<Vec<u32>, _> = s.split(',').map(|c| c.trim().parse()).collect();
+        let counts = counts.map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        if let Some(w) = width {
+            if counts.len() != w {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: expected {w} columns, got {}", lineno + 1, counts.len()),
+                ));
+            }
+        } else {
+            width = Some(counts.len());
+        }
+        steps.push(Config::new(counts));
+    }
+    Ok(Schedule::new(steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rsz-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let path = tmp("trace.csv");
+        let t = patterns::diurnal(48, 1.0, 4.0, 24, 0.25);
+        write_trace(&path, &t).unwrap();
+        let back = read_trace(&path).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in t.values().iter().zip(back.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn schedule_round_trip() {
+        let path = tmp("sched.csv");
+        let s = Schedule::from_counts(vec![vec![1, 0], vec![2, 1], vec![0, 3]]);
+        write_schedule(&path, &s).unwrap();
+        let back = read_schedule(&path).unwrap();
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let path = tmp("garbage.csv");
+        std::fs::write(&path, "1.0\nnot-a-number\n").unwrap();
+        assert!(read_trace(&path).is_err());
+        std::fs::write(&path, "1,2\n3\n").unwrap();
+        assert!(read_schedule(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let path = tmp("comments.csv");
+        std::fs::write(&path, "# header\n\n1.5\n# mid\n2.5\n").unwrap();
+        let t = read_trace(&path).unwrap();
+        assert_eq!(t.values(), &[1.5, 2.5]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,39 @@
+//! # rsz-workloads — synthetic workloads, fleets and cost presets
+//!
+//! The paper is a theory paper and ships no traces; every experiment in
+//! this reproduction therefore runs on synthetic equivalents built here
+//! (substitution documented in DESIGN.md):
+//!
+//! * [`trace`] — the `Trace` type (a `λ_1 … λ_T` sequence) with summary
+//!   statistics and shaping combinators,
+//! * [`patterns`] — deterministic shapes: constant, diurnal sinusoid,
+//!   weekday/weekend weeks, ramps, square waves,
+//! * [`stochastic`] — noise and burst processes: Gaussian perturbation,
+//!   Poisson arrivals, two-state MMPP, random walks, heavy-tailed spikes,
+//! * [`adversarial`] — families tuned to stress right-sizing algorithms:
+//!   sawtooth oscillations around provisioning boundaries, duty cycles
+//!   matched to the ski-rental horizon `⌈β/l⌉`,
+//! * [`fleet`] — heterogeneous server-type presets (CPU/GPU,
+//!   old/new generations, parameterized `d`-type families),
+//! * [`costs`] — operating-cost and electricity-price presets,
+//! * [`scenario`] — named end-to-end instances gluing the above,
+//! * [`io`] — dependency-free CSV import/export of traces and schedules,
+//! * [`chasing`] — the Section 1 lower-bound demo: general convex
+//!   function chasing on the hypercube has competitive ratio `Ω(2^d/d)`,
+//!   which is why the paper restricts to operating costs of form (1).
+//!
+//! All randomness flows through explicit `StdRng` seeds.
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod chasing;
+pub mod costs;
+pub mod fleet;
+pub mod io;
+pub mod patterns;
+pub mod scenario;
+pub mod stochastic;
+pub mod trace;
+
+pub use trace::Trace;

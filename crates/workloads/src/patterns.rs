@@ -1,0 +1,128 @@
+//! Deterministic workload shapes.
+
+use std::f64::consts::TAU;
+
+use crate::trace::Trace;
+
+/// Constant load `level` for `len` slots.
+#[must_use]
+pub fn constant(len: usize, level: f64) -> Trace {
+    Trace::new(vec![level; len])
+}
+
+/// Diurnal sinusoid: `base + amplitude·(1 + sin)/2` with the given period
+/// (slots per day). The canonical data-center shape — low at night, high
+/// at midday (Lin et al. 2013 motivate right-sizing with exactly this).
+///
+/// `phase` shifts the peak within the day (fraction of a period).
+#[must_use]
+pub fn diurnal(len: usize, base: f64, amplitude: f64, period: usize, phase: f64) -> Trace {
+    assert!(period > 0, "period must be positive");
+    Trace::new(
+        (0..len)
+            .map(|t| {
+                let angle = TAU * (t as f64 / period as f64 + phase);
+                base + amplitude * (1.0 + angle.sin()) / 2.0
+            })
+            .collect(),
+    )
+}
+
+/// A work week: `days` diurnal days of which every 6th and 7th day run at
+/// `weekend_factor` of the weekday level.
+#[must_use]
+pub fn work_week(days: usize, slots_per_day: usize, base: f64, amplitude: f64, weekend_factor: f64) -> Trace {
+    let mut values = Vec::with_capacity(days * slots_per_day);
+    for day in 0..days {
+        let weekend = day % 7 >= 5;
+        let day_trace = diurnal(slots_per_day, base, amplitude, slots_per_day, 0.75);
+        for &v in day_trace.values() {
+            values.push(if weekend { v * weekend_factor } else { v });
+        }
+    }
+    Trace::new(values)
+}
+
+/// Linear ramp from `from` to `to` over `len` slots.
+#[must_use]
+pub fn ramp(len: usize, from: f64, to: f64) -> Trace {
+    if len <= 1 {
+        return Trace::new(vec![from; len]);
+    }
+    Trace::new(
+        (0..len)
+            .map(|t| from + (to - from) * t as f64 / (len - 1) as f64)
+            .collect(),
+    )
+}
+
+/// Square wave alternating `high` for `high_len` slots and `low` for
+/// `low_len` slots.
+#[must_use]
+pub fn square_wave(len: usize, high: f64, low: f64, high_len: usize, low_len: usize) -> Trace {
+    assert!(high_len + low_len > 0, "period must be positive");
+    let period = high_len + low_len;
+    Trace::new(
+        (0..len)
+            .map(|t| if t % period < high_len { high } else { low })
+            .collect(),
+    )
+}
+
+/// A single spike of `height` at slot `at`, zero elsewhere.
+#[must_use]
+pub fn spike(len: usize, at: usize, height: f64) -> Trace {
+    let mut v = vec![0.0; len];
+    if at < len {
+        v[at] = height;
+    }
+    Trace::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace() {
+        let t = constant(3, 2.5);
+        assert_eq!(t.values(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn diurnal_oscillates_within_band() {
+        let t = diurnal(48, 1.0, 4.0, 24, 0.0);
+        assert!(t.values().iter().all(|&v| (1.0..=5.0 + 1e-12).contains(&v)));
+        assert!(t.peak() > 4.5, "peak {}", t.peak());
+        // periodicity
+        assert!((t.values()[0] - t.values()[24]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_week_dampens_weekends() {
+        let t = work_week(7, 4, 1.0, 2.0, 0.25);
+        assert_eq!(t.len(), 28);
+        let weekday_sum: f64 = t.values()[0..4].iter().sum();
+        let weekend_sum: f64 = t.values()[20..24].iter().sum();
+        assert!(weekend_sum < weekday_sum);
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        let t = ramp(5, 1.0, 5.0);
+        assert_eq!(t.values()[0], 1.0);
+        assert_eq!(t.values()[4], 5.0);
+    }
+
+    #[test]
+    fn square_wave_duty_cycle() {
+        let t = square_wave(6, 3.0, 1.0, 2, 1);
+        assert_eq!(t.values(), &[3.0, 3.0, 1.0, 3.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn spike_placement() {
+        let t = spike(4, 2, 7.0);
+        assert_eq!(t.values(), &[0.0, 0.0, 7.0, 0.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Named end-to-end scenarios: fleet + trace + (optional) price profile
+//! glued into a ready-to-run [`Instance`].
+
+use rsz_core::{CostSpec, Instance, ServerType};
+
+use crate::{adversarial, costs, fleet, patterns, stochastic, trace::Trace};
+
+/// Build an instance from a fleet and a trace, capping the trace at the
+/// fleet capacity so the result is always feasible.
+///
+/// # Panics
+/// Panics if the resulting instance fails validation (cannot happen for
+/// well-formed fleets).
+#[must_use]
+pub fn instance_from(types: Vec<ServerType>, trace: Trace) -> Instance {
+    let cap = fleet::total_capacity(&types);
+    Instance::builder()
+        .server_types(types)
+        .loads(trace.capped(cap).into_values())
+        .build()
+        .expect("scenario instances are feasible by construction")
+}
+
+/// A noisy diurnal week on a CPU+GPU fleet — the "motivating workload"
+/// of the baseline-comparison experiment. `slots_per_day` of 24 gives
+/// hourly slots.
+#[must_use]
+pub fn diurnal_cpu_gpu(cpus: u32, gpus: u32, days: usize, slots_per_day: usize, seed: u64) -> Instance {
+    let types = fleet::cpu_gpu(cpus, gpus);
+    let cap = fleet::total_capacity(&types);
+    let base = patterns::work_week(days, slots_per_day, 0.1 * cap, 0.7 * cap, 0.35);
+    let noisy = stochastic::with_gaussian_noise(&base, 0.05 * cap, seed);
+    instance_from(types, noisy)
+}
+
+/// Bursty MMPP traffic on an old+new fleet.
+#[must_use]
+pub fn bursty_old_new(old: u32, new: u32, len: usize, seed: u64) -> Instance {
+    let types = fleet::old_new(old, new);
+    let cap = fleet::total_capacity(&types);
+    let tr = stochastic::mmpp(len, 0.1 * cap, 0.7 * cap, 0.06, 0.25, 1.0, seed);
+    instance_from(types, tr)
+}
+
+/// Time-varying electricity prices on a homogeneous fleet: the Section 3
+/// setting where Algorithms B/C earn their keep. Returns the instance
+/// (cost = energy-proportional model × diurnal price profile).
+#[must_use]
+pub fn electricity_market(m: u32, len: usize, slots_per_day: usize, seed: u64) -> Instance {
+    let price = costs::price_profile_diurnal(len, 0.5, 2.0, slots_per_day);
+    let base = costs::energy_proportional(0.5, 1.5, 1.0);
+    let ty = ServerType::with_spec("server", m, 4.0, 1.0, CostSpec::scaled(base, price));
+    let cap = f64::from(m);
+    let tr = stochastic::with_gaussian_noise(
+        &patterns::diurnal(len, 0.15 * cap, 0.6 * cap, slots_per_day, 0.3),
+        0.04 * cap,
+        seed,
+    );
+    Instance::builder()
+        .server_types(vec![ty])
+        .loads(tr.capped(cap).into_values())
+        .build()
+        .expect("electricity scenario is feasible by construction")
+}
+
+/// Adversarial duty-cycle probe on a small scaling family — the workload
+/// used when searching for worst-case competitive ratios.
+#[must_use]
+pub fn adversarial_probe(d: usize, len: usize, seed: u64) -> Instance {
+    let types = fleet::scaling_family(d, 2);
+    let cap = fleet::total_capacity(&types);
+    // Mix a ski-rental probe with jitter so both timers and trackers hurt.
+    let probe = adversarial::ski_rental_probe(len, 0.8 * cap, 3);
+    let noise = adversarial::jitter(len, 0.3 * cap, 0.4, seed);
+    instance_from(types, probe.plus(&noise))
+}
+
+/// Data-center expansion: the fleet grows mid-horizon (time-varying
+/// `m_{t,j}`, Section 4.3) while load ramps up.
+#[must_use]
+pub fn expansion(len: usize) -> Instance {
+    let types = fleet::old_new(4, 6);
+    // Old fleet fixed at 4; new fleet grows 0 → 6 in two waves.
+    let counts: Vec<Vec<u32>> = (0..len)
+        .map(|t| {
+            let new = if t < len / 3 {
+                0
+            } else if t < 2 * len / 3 {
+                3
+            } else {
+                6
+            };
+            vec![4, new]
+        })
+        .collect();
+    let caps: Vec<f64> = counts.iter().map(|c| 1.0 * f64::from(c[0]) + 2.0 * f64::from(c[1])).collect();
+    let ramp = patterns::ramp(len, 1.0, caps.last().copied().unwrap_or(4.0) * 0.9);
+    let loads: Vec<f64> = ramp
+        .values()
+        .iter()
+        .zip(&caps)
+        .map(|(&l, &c)| l.min(c))
+        .collect();
+    Instance::builder()
+        .server_types(types)
+        .loads(loads)
+        .counts_over_time(counts)
+        .build()
+        .expect("expansion scenario is feasible by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_validate() {
+        assert_eq!(diurnal_cpu_gpu(6, 2, 2, 12, 1).horizon(), 24);
+        assert_eq!(bursty_old_new(4, 4, 30, 2).horizon(), 30);
+        assert_eq!(electricity_market(6, 48, 24, 3).horizon(), 48);
+        assert_eq!(adversarial_probe(2, 20, 4).num_types(), 2);
+        let e = expansion(30);
+        assert!(e.has_time_varying_counts());
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let a = diurnal_cpu_gpu(6, 2, 2, 12, 42);
+        let b = diurnal_cpu_gpu(6, 2, 2, 12, 42);
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    fn electricity_market_has_time_dependent_costs() {
+        let inst = electricity_market(6, 48, 24, 3);
+        assert!(!inst.is_time_independent());
+        assert!(inst.idle_cost(0, 0) != inst.idle_cost(12, 0));
+    }
+
+    #[test]
+    fn expansion_counts_grow() {
+        let e = expansion(30);
+        assert_eq!(e.server_count(0, 1), 0);
+        assert_eq!(e.server_count(29, 1), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! Job-volume traces.
+
+/// A sequence of per-slot job volumes `λ_1 … λ_T`.
+///
+/// Thin wrapper over `Vec<f64>` with the shaping operations the
+/// generators and scenarios compose: every value is kept finite and
+/// non-negative.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Wrap raw values, clamping negatives to zero.
+    #[must_use]
+    pub fn new(values: Vec<f64>) -> Self {
+        let values = values
+            .into_iter()
+            .map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 })
+            .collect();
+        Self { values }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume into the raw values (what `InstanceBuilder::loads` takes).
+    #[must_use]
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Largest value.
+    #[must_use]
+    pub fn peak(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean (0 for an empty trace).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Peak-to-mean ratio — the burstiness signal right-sizing exploits.
+    #[must_use]
+    pub fn peak_to_mean(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.peak() / m
+        }
+    }
+
+    /// Multiply every value by `factor ≥ 0`.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0 && factor.is_finite());
+        for v in &mut self.values {
+            *v *= factor;
+        }
+        self
+    }
+
+    /// Clamp every value into `[0, cap]` — used to keep a trace feasible
+    /// for a fleet with total capacity `cap`.
+    #[must_use]
+    pub fn capped(mut self, cap: f64) -> Self {
+        for v in &mut self.values {
+            *v = v.min(cap);
+        }
+        self
+    }
+
+    /// Rescale so the peak equals `target_peak` (no-op on all-zero
+    /// traces).
+    #[must_use]
+    pub fn normalized_to_peak(self, target_peak: f64) -> Self {
+        let p = self.peak();
+        if p == 0.0 {
+            self
+        } else {
+            self.scaled(target_peak / p)
+        }
+    }
+
+    /// Point-wise sum of two equal-length traces.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn plus(mut self, other: &Trace) -> Self {
+        assert_eq!(self.len(), other.len(), "trace length mismatch");
+        for (a, b) in self.values.iter_mut().zip(other.values()) {
+            *a += b;
+        }
+        self
+    }
+}
+
+impl From<Vec<f64>> for Trace {
+    fn from(values: Vec<f64>) -> Self {
+        Trace::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_values() {
+        let t = Trace::new(vec![1.0, -2.0, f64::NAN, 3.0]);
+        assert_eq!(t.values(), &[1.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let t = Trace::new(vec![1.0, 3.0, 2.0]);
+        assert_eq!(t.peak(), 3.0);
+        assert!((t.mean() - 2.0).abs() < 1e-12);
+        assert!((t.peak_to_mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shaping() {
+        let t = Trace::new(vec![1.0, 4.0]).scaled(2.0).capped(5.0);
+        assert_eq!(t.values(), &[2.0, 5.0]);
+        let n = Trace::new(vec![1.0, 4.0]).normalized_to_peak(8.0);
+        assert_eq!(n.values(), &[2.0, 8.0]);
+    }
+
+    #[test]
+    fn plus_adds_pointwise() {
+        let t = Trace::new(vec![1.0, 2.0]).plus(&Trace::new(vec![0.5, 0.5]));
+        assert_eq!(t.values(), &[1.5, 2.5]);
+    }
+}

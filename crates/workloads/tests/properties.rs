@@ -1,0 +1,92 @@
+//! Property-based tests for workload generation: sanity of traces,
+//! determinism under seeds, feasibility of scenarios, and the chasing
+//! game's structural guarantees.
+
+use proptest::prelude::*;
+use rsz_workloads::chasing::{play, EscapePolicy};
+use rsz_workloads::{adversarial, patterns, scenario, stochastic, Trace};
+
+proptest! {
+    /// Every generator produces finite, non-negative values of the
+    /// requested length.
+    #[test]
+    fn generators_produce_sane_traces(len in 1usize..128, seed in 0u64..1_000) {
+        let traces: Vec<Trace> = vec![
+            patterns::constant(len, 2.0),
+            patterns::diurnal(len, 1.0, 3.0, 24, 0.3),
+            patterns::ramp(len, 0.0, 5.0),
+            patterns::square_wave(len, 4.0, 1.0, 3, 2),
+            stochastic::poisson(len, 3.0, 0.5, seed),
+            stochastic::mmpp(len, 1.0, 8.0, 0.1, 0.3, 1.0, seed),
+            stochastic::random_walk(len, 2.0, 1.0, 6.0, seed),
+            stochastic::spiky(len, 1.0, 5.0, 0.2, seed),
+            adversarial::ski_rental_probe(len, 3.0, 2),
+            adversarial::boundary_sawtooth(len, 1.0, 4.0, 1, 3, seed),
+            adversarial::staircase(len, 1.0, 3, 2),
+            adversarial::jitter(len, 5.0, 0.3, seed),
+        ];
+        for t in traces {
+            prop_assert_eq!(t.len(), len);
+            prop_assert!(t.values().iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    /// Seeded generators are reproducible.
+    #[test]
+    fn generators_deterministic(len in 1usize..64, seed in 0u64..1_000) {
+        prop_assert_eq!(
+            stochastic::mmpp(len, 1.0, 5.0, 0.1, 0.2, 1.0, seed),
+            stochastic::mmpp(len, 1.0, 5.0, 0.1, 0.2, 1.0, seed)
+        );
+        prop_assert_eq!(
+            adversarial::jitter(len, 3.0, 0.5, seed),
+            adversarial::jitter(len, 3.0, 0.5, seed)
+        );
+    }
+
+    /// Shaping combinators respect their contracts.
+    #[test]
+    fn shaping_contracts(len in 1usize..64, seed in 0u64..500, cap in 0.1..10.0_f64) {
+        let t = stochastic::spiky(len, 1.0, 9.0, 0.4, seed).capped(cap);
+        prop_assert!(t.peak() <= cap + 1e-12);
+        let n = stochastic::spiky(len, 1.0, 9.0, 0.4, seed).normalized_to_peak(cap);
+        prop_assert!((n.peak() - cap).abs() < 1e-9);
+        let s = patterns::constant(len, 1.0).scaled(cap);
+        prop_assert!((s.mean() - cap).abs() < 1e-9);
+    }
+
+    /// All named scenarios build valid (feasible) instances for a range
+    /// of parameters.
+    #[test]
+    fn scenarios_always_feasible(seed in 0u64..200) {
+        let instances = vec![
+            scenario::diurnal_cpu_gpu(4, 2, 2, 8, seed),
+            scenario::bursty_old_new(3, 3, 20, seed),
+            scenario::electricity_market(5, 24, 12, seed),
+            scenario::adversarial_probe(2, 16, seed),
+            scenario::expansion(18),
+        ];
+        for inst in instances {
+            // builder already validates; double-check loads vs capacity
+            for t in 0..inst.horizon() {
+                prop_assert!(inst.load(t) <= inst.max_capacity_at(t) + 1e-9);
+            }
+        }
+    }
+
+    /// Chasing game: the offline player's refuge always costs ≤ d and
+    /// the online player pays at least one power-up per two moves.
+    #[test]
+    fn chasing_structure(d in 1usize..10, seed in 0u64..100) {
+        for policy in [
+            EscapePolicy::PreferPowerDown,
+            EscapePolicy::RandomBit(seed),
+            EscapePolicy::RoundRobin,
+        ] {
+            let out = play(d, policy);
+            prop_assert_eq!(out.horizon, (1usize << d) - 1);
+            prop_assert!(out.offline_cost <= d as f64);
+            prop_assert!(out.online_cost >= (out.horizon as f64 - d as f64) / 2.0);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! `rsz` — command-line right-sizing.
+//!
+//! ```text
+//! # generate a week-long diurnal trace for a fleet of capacity 14
+//! rsz generate --pattern diurnal --len 168 --peak 12 --seed 7 --out trace.csv
+//!
+//! # solve it offline (exact), online (Algorithm A) or approximately
+//! rsz solve --trace trace.csv --fleet cpu-gpu:6,2 --algorithm opt --chart
+//! rsz solve --trace trace.csv --fleet cpu-gpu:6,2 --algorithm a --out schedule.csv
+//! rsz solve --trace trace.csv --fleet homogeneous:100 --algorithm approx:0.5
+//! ```
+//!
+//! Fleets are presets from `rsz-workloads` (`homogeneous:M`,
+//! `cpu-gpu:C,G`, `old-new:O,N`, `three-tier:L,C,G`); traces are plain
+//! one-value-per-line files (see `rsz_workloads::io`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use heterogeneous_rightsizing::core::render;
+use heterogeneous_rightsizing::offline::{self, DpOptions};
+use heterogeneous_rightsizing::online::algo_c::COptions;
+use heterogeneous_rightsizing::online::{self, AlgorithmA, AlgorithmB, AlgorithmC};
+use heterogeneous_rightsizing::prelude::*;
+use heterogeneous_rightsizing::workloads::{fleet, io, patterns, stochastic};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("solve") => solve(&args[1..]),
+        Some("generate") => generate(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--out FILE] [--chart]
+  rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
+
+fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
+algorithms:  opt | approx:EPS | a | b | c:EPS
+patterns:    diurnal | constant | mmpp | spiky";
+
+/// Pull `--name value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_fleet(spec: &str) -> Result<Vec<ServerType>, String> {
+    let (name, params) = spec.split_once(':').ok_or("fleet must be NAME:PARAMS")?;
+    let nums: Result<Vec<u32>, _> = params.split(',').map(str::parse).collect();
+    let nums = nums.map_err(|e| format!("bad fleet parameters: {e}"))?;
+    match (name, nums.as_slice()) {
+        ("homogeneous", [m]) => {
+            Ok(fleet::homogeneous(*m, 3.0, 1.0, CostModel::linear(0.5, 1.0)))
+        }
+        ("cpu-gpu", [c, g]) => Ok(fleet::cpu_gpu(*c, *g)),
+        ("old-new", [o, n]) => Ok(fleet::old_new(*o, *n)),
+        ("three-tier", [l, c, g]) => Ok(fleet::three_tier(*l, *c, *g)),
+        _ => Err(format!("unknown fleet `{spec}`")),
+    }
+}
+
+fn solve(args: &[String]) -> ExitCode {
+    let trace_path = match flag(args, "--trace") {
+        Some(p) => PathBuf::from(p),
+        None => return fail("--trace FILE is required"),
+    };
+    let fleet_spec = flag(args, "--fleet").unwrap_or_else(|| "homogeneous:10".into());
+    let algo_spec = flag(args, "--algorithm").unwrap_or_else(|| "opt".into());
+
+    let trace = match io::read_trace(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read trace: {e}")),
+    };
+    let types = match parse_fleet(&fleet_spec) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let cap = fleet::total_capacity(&types);
+    let clipped = trace.peak() > cap;
+    let instance = match Instance::builder()
+        .server_types(types)
+        .loads(trace.capped(cap).into_values())
+        .build()
+    {
+        Ok(i) => i,
+        Err(e) => return fail(&format!("invalid instance: {e}")),
+    };
+    if clipped {
+        eprintln!("warning: trace peak exceeds fleet capacity {cap}; loads were capped");
+    }
+
+    let oracle = Dispatcher::new();
+    let (name, schedule): (String, Schedule) = match algo_spec.split_once(':') {
+        None if algo_spec == "opt" => {
+            let res = offline::solve(&instance, &oracle, DpOptions::default());
+            ("offline optimal".into(), res.schedule)
+        }
+        None if algo_spec == "a" => {
+            let mut a = AlgorithmA::new(&instance, oracle, Default::default());
+            ("Algorithm A (2d+1)-competitive".into(), online::run(&instance, &mut a, &oracle).schedule)
+        }
+        None if algo_spec == "b" => {
+            let mut b = AlgorithmB::new(&instance, oracle, Default::default());
+            ("Algorithm B".into(), online::run(&instance, &mut b, &oracle).schedule)
+        }
+        Some(("approx", eps)) => match eps.parse::<f64>() {
+            Ok(eps) if eps > 0.0 => {
+                let res = offline::approximate(&instance, &oracle, eps, true);
+                (format!("(1+{eps})-approximation"), res.result.schedule)
+            }
+            _ => return fail("approx:EPS needs a positive EPS"),
+        },
+        Some(("c", eps)) => match eps.parse::<f64>() {
+            Ok(eps) if eps > 0.0 => {
+                let mut c = AlgorithmC::new(
+                    &instance,
+                    oracle,
+                    COptions { epsilon: eps, ..Default::default() },
+                );
+                (format!("Algorithm C(ε={eps})"), online::run(&instance, &mut c, &oracle).schedule)
+            }
+            _ => return fail("c:EPS needs a positive EPS"),
+        },
+        _ => return fail(&format!("unknown algorithm `{algo_spec}`\n{USAGE}")),
+    };
+
+    if let Err(e) = schedule.check_feasible(&instance) {
+        return fail(&format!("internal error: produced infeasible schedule: {e}"));
+    }
+    let bd = heterogeneous_rightsizing::core::objective::evaluate(&instance, &schedule, &oracle);
+    println!("algorithm:       {name}");
+    println!("slots:           {}", instance.horizon());
+    println!("operating cost:  {:.3}", bd.operating);
+    println!("switching cost:  {:.3}", bd.switching);
+    println!("total cost:      {:.3}", bd.total());
+    let stats =
+        heterogeneous_rightsizing::core::analysis::schedule_stats(&instance, &schedule, &oracle);
+    println!("mean utilization {:.1}%", stats.mean_utilization * 100.0);
+    for (j, ts) in stats.per_type.iter().enumerate() {
+        println!(
+            "  type {j} ({}): mean active {:.2}, peak {}, power-ups {}",
+            instance.types()[j].name,
+            ts.mean_active,
+            ts.peak_active,
+            ts.power_ups
+        );
+    }
+
+    if has_flag(args, "--chart") {
+        println!("\n{}", render::schedule_chart(&instance, &schedule));
+    }
+    if let Some(out) = flag(args, "--out") {
+        if let Err(e) = io::write_schedule(Path::new(&out), &schedule) {
+            return fail(&format!("cannot write schedule: {e}"));
+        }
+        println!("schedule written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn generate(args: &[String]) -> ExitCode {
+    let pattern = flag(args, "--pattern").unwrap_or_else(|| "diurnal".into());
+    let len: usize = match flag(args, "--len").as_deref().map(str::parse) {
+        Some(Ok(v)) if v > 0 => v,
+        _ => return fail("--len N (positive) is required"),
+    };
+    let peak: f64 = match flag(args, "--peak").as_deref().map(str::parse) {
+        Some(Ok(v)) if v > 0.0 => v,
+        _ => return fail("--peak X (positive) is required"),
+    };
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let trace = match pattern.as_str() {
+        "diurnal" => stochastic::with_gaussian_noise(
+            &patterns::diurnal(len, 0.1 * peak, 0.85 * peak, 24, 0.75),
+            0.03 * peak,
+            seed,
+        ),
+        "constant" => patterns::constant(len, peak),
+        "mmpp" => stochastic::mmpp(len, 0.1 * peak, 0.7 * peak, 0.05, 0.25, 1.0, seed)
+            .normalized_to_peak(peak),
+        "spiky" => stochastic::spiky(len, 0.2 * peak, 0.8 * peak, 0.1, seed),
+        other => return fail(&format!("unknown pattern `{other}`\n{USAGE}")),
+    };
+    match flag(args, "--out") {
+        Some(out) => {
+            if let Err(e) = io::write_trace(Path::new(&out), &trace) {
+                return fail(&format!("cannot write trace: {e}"));
+            }
+            println!(
+                "wrote {} slots to {out} (peak {:.2}, mean {:.2})",
+                trace.len(),
+                trace.peak(),
+                trace.mean()
+            );
+        }
+        None => {
+            for v in trace.values() {
+                println!("{v}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).into()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["--trace", "t.csv", "--chart"]);
+        assert_eq!(flag(&args, "--trace").as_deref(), Some("t.csv"));
+        assert_eq!(flag(&args, "--missing"), None);
+        assert!(has_flag(&args, "--chart"));
+        assert!(!has_flag(&args, "--out"));
+    }
+
+    #[test]
+    fn fleet_specs() {
+        assert_eq!(parse_fleet("homogeneous:5").unwrap().len(), 1);
+        assert_eq!(parse_fleet("cpu-gpu:4,2").unwrap().len(), 2);
+        assert_eq!(parse_fleet("three-tier:2,2,1").unwrap().len(), 3);
+        assert!(parse_fleet("nope:1").is_err());
+        assert!(parse_fleet("cpu-gpu:x").is_err());
+        assert!(parse_fleet("cpu-gpu").is_err());
+    }
+}
