@@ -20,11 +20,9 @@ fn bench_transform(c: &mut Criterion) {
             *v = (i % 97) as f64;
         }
         group.throughput(Throughput::Elements(cells as u64));
-        group.bench_with_input(
-            BenchmarkId::new(format!("d{d}"), cells),
-            &cells,
-            |b, _| b.iter(|| black_box(arrival_transform(&table, &levels, &betas))),
-        );
+        group.bench_with_input(BenchmarkId::new(format!("d{d}"), cells), &cells, |b, _| {
+            b.iter(|| black_box(arrival_transform(&table, &levels, &betas)))
+        });
     }
     group.finish();
 }

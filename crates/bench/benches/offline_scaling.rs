@@ -41,11 +41,9 @@ fn bench_exact_vs_approx(c: &mut Criterion) {
             });
         }
         for eps in [1.0, 0.25] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("approx_eps_{eps}"), m),
-                &m,
-                |b, _| b.iter(|| black_box(approximate(&inst, &oracle, eps, false).result.cost)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("approx_eps_{eps}"), m), &m, |b, _| {
+                b.iter(|| black_box(approximate(&inst, &oracle, eps, false).result.cost))
+            });
         }
     }
     group.finish();

@@ -19,9 +19,8 @@ fn instance(m: u32, horizon: usize, time_dependent: bool) -> Instance {
     } else {
         CostSpec::Uniform(CostModel::linear(0.4, 1.0))
     };
-    let loads: Vec<f64> = (0..horizon)
-        .map(|t| f64::from(m) * (0.3 + 0.25 * ((t * 7) % 13) as f64 / 13.0))
-        .collect();
+    let loads: Vec<f64> =
+        (0..horizon).map(|t| f64::from(m) * (0.3 + 0.25 * ((t * 7) % 13) as f64 / 13.0)).collect();
     Instance::builder()
         .server_type(ServerType::with_spec("a", m, 2.0, 1.0, cost))
         .loads(loads)

@@ -22,10 +22,8 @@ fn main() {
             seed = v;
         }
     }
-    let selected: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && a.as_str() != format!("{seed}"))
-        .collect();
+    let selected: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--") && a.as_str() != format!("{seed}")).collect();
 
     let reg = registry();
     if selected.iter().any(|a| a.as_str() == "list") {

@@ -23,7 +23,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     let (seeds, horizon, m1, m2): (u64, usize, u32, u32) =
         if cfg.quick { (3, 10, 16, 8) } else { (10, 20, 30, 12) };
     let gammas = [1.1, 1.25, 1.5, 2.0, 3.0];
-    report.kv("sweep", format!("{seeds} seeds × d ∈ {{1,2}}, T = {horizon}, m = {m1} / ({m2},{m2})"));
+    report
+        .kv("sweep", format!("{seeds} seeds × d ∈ {{1,2}}, T = {horizon}, m = {m1} / ({m2},{m2})"));
     report.blank();
 
     let mut table = TextTable::new([
@@ -45,14 +46,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 let oracle = Dispatcher::new();
                 let exact =
                     dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
-                let approx =
-                    approximate_with_mode(&inst, &oracle, GridMode::Gamma(gamma), false);
+                let approx = approximate_with_mode(&inst, &oracle, GridMode::Gamma(gamma), false);
                 approx.result.schedule.check_feasible(&inst).expect("feasible");
                 let ratio = approx.result.cost / exact.cost;
-                assert!(
-                    ratio >= 1.0 - 1e-9,
-                    "approximation cannot beat the exact optimum"
-                );
+                assert!(ratio >= 1.0 - 1e-9, "approximation cannot beat the exact optimum");
                 assert!(
                     ratio <= bound + 1e-6,
                     "Theorem 16 violated: γ={gamma} d={d} seed={seed}: {ratio} > {bound}"

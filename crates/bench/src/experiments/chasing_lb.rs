@@ -15,10 +15,8 @@ use crate::ExperimentConfig;
 /// Run the chasing lower-bound experiment.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Report {
-    let mut report = Report::new(
-        "fig_chasing_lb",
-        "Section 1: general convex chasing is Ω(2^d/d)-hard",
-    );
+    let mut report =
+        Report::new("fig_chasing_lb", "Section 1: general convex chasing is Ω(2^d/d)-hard");
     let d_max = if cfg.quick { 8 } else { 14 };
     let mut table = TextTable::new([
         "d",
@@ -46,10 +44,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             f(f64::powi(2.0, d as i32) / d as f64),
         ]);
         if d >= 4 {
-            assert!(
-                worst > prev_ratio,
-                "ratio must keep growing: d={d} {worst} ≤ {prev_ratio}"
-            );
+            assert!(worst > prev_ratio, "ratio must keep growing: d={d} {worst} ≤ {prev_ratio}");
         }
         prev_ratio = worst;
     }

@@ -45,7 +45,8 @@ pub fn run(_cfg: &ExperimentConfig) -> Report {
     let xhat: Vec<u32> = vec![1, 2, 1, 2, 3, 1, 0, 2, 2, 1, 0, 1, 0, 0];
     let (xa, w) = replay_algorithm_a(&xhat, tbar);
 
-    let mut table = TextTable::new(["t", "x̂^t_t (prefix opt)", "x^A_t (algorithm)", "powered up w_t"]);
+    let mut table =
+        TextTable::new(["t", "x̂^t_t (prefix opt)", "x^A_t (algorithm)", "powered up w_t"]);
     for t in 0..xhat.len() {
         table.row([
             (t + 1).to_string(), // paper is 1-based
@@ -59,7 +60,10 @@ pub fn run(_cfg: &ExperimentConfig) -> Report {
 
     // Invariant 1: domination.
     let dominated = xhat.iter().zip(&xa).all(|(&h, &a)| a >= h);
-    report.kv("invariant x^A ≥ x̂ (Lemma 1 prerequisite)", if dominated { "holds" } else { "VIOLATED" });
+    report.kv(
+        "invariant x^A ≥ x̂ (Lemma 1 prerequisite)",
+        if dominated { "holds" } else { "VIOLATED" },
+    );
     assert!(dominated);
 
     // Invariant 2: every powered server retires exactly t̄ slots later.

@@ -74,7 +74,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
 
     let partition = dec.is_partition();
     let spacing = dec.spacing_at_least(tbar);
-    report.kv("index sets partition all blocks (Lemma 7 core)", if partition { "holds" } else { "VIOLATED" });
+    report.kv(
+        "index sets partition all blocks (Lemma 7 core)",
+        if partition { "holds" } else { "VIOLATED" },
+    );
     report.kv("consecutive τ spacing ≥ t̄", if spacing { "holds" } else { "VIOLATED" });
     assert!(partition && spacing);
     report

@@ -19,7 +19,8 @@ use crate::ExperimentConfig;
 /// Run the Figure 4 reproduction.
 #[must_use]
 pub fn run(_cfg: &ExperimentConfig) -> Report {
-    let mut report = Report::new("fig4_graph", "Figure 4: graph representation (d=2, T=2, m=(2,1))");
+    let mut report =
+        Report::new("fig4_graph", "Figure 4: graph representation (d=2, T=2, m=(2,1))");
     // Type 1: two cheap-to-switch slow servers; type 2: one fast server.
     // Load 2.5 then 2.0: slot 1 needs all of type 1 plus the fast server
     // is attractive; slot 2 can drop a slow server.

@@ -25,10 +25,8 @@ use crate::ExperimentConfig;
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Report {
     let gamma = 2.0;
-    let mut report = Report::new(
-        "fig5_gamma_rounding",
-        "Figure 5: corridor schedule X' (γ = 2, m = 10)",
-    );
+    let mut report =
+        Report::new("fig5_gamma_rounding", "Figure 5: corridor schedule X' (γ = 2, m = 10)");
     let levels = gamma_levels(10, gamma);
     report.kv("allowed states M^γ", format!("{levels:?}"));
     assert_eq!(levels, vec![0, 1, 2, 4, 8, 10]);
@@ -50,11 +48,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
 
     let opt = dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
     let witness = corridor_schedule(&inst, &opt.schedule, gamma);
-    let dp_gamma = dp_solve(
-        &inst,
-        &oracle,
-        DpOptions { grid: GridMode::Gamma(gamma), parallel: false },
-    );
+    let dp_gamma =
+        dp_solve(&inst, &oracle, DpOptions { grid: GridMode::Gamma(gamma), parallel: false });
 
     let mut table = TextTable::new(["t", "x*_t (red)", "(2γ−1)·x* (blue)", "x'_t (green)"]);
     for (t, xstar) in opt.schedule.iter() {
@@ -70,7 +65,10 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     report.blank();
 
     let invariant = corridor_invariant_holds(&inst, &opt.schedule, &witness, gamma);
-    report.kv("corridor invariant x* ≤ x' ≤ (2γ−1)x* (Eq. 19)", if invariant { "holds" } else { "VIOLATED" });
+    report.kv(
+        "corridor invariant x* ≤ x' ≤ (2γ−1)x* (Eq. 19)",
+        if invariant { "holds" } else { "VIOLATED" },
+    );
     assert!(invariant);
     witness.check_feasible(&inst).expect("witness feasible");
 

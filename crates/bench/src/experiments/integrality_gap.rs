@@ -64,7 +64,12 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             discrete / frac
         });
         let s = summarize(&gaps);
-        table.row([m.to_string(), format!("{:.4}×", s.max), format!("{:.4}×", s.mean), s.n.to_string()]);
+        table.row([
+            m.to_string(),
+            format!("{:.4}×", s.max),
+            format!("{:.4}×", s.mean),
+            s.n.to_string(),
+        ]);
     }
     report.table(&table);
     report.blank();

@@ -4,12 +4,12 @@ pub mod approx_ratio;
 pub mod baselines;
 pub mod chasing_lb;
 pub mod families;
-pub mod integrality_gap;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod integrality_gap;
 pub mod prefix_backend;
 pub mod ratio_a;
 pub mod ratio_b;

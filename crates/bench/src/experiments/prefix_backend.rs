@@ -54,9 +54,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     let mut table =
         TextTable::new(["backend", "grid cells/slot", "cost", "ratio vs OPT", "total time"]);
     for (label, grid) in backends {
-        let cells: usize = (0..inst.num_types())
-            .map(|j| grid.levels(inst.server_count(0, j)).len())
-            .product();
+        let cells: usize =
+            (0..inst.num_types()).map(|j| grid.levels(inst.server_count(0, j)).len()).product();
         let (outcome, dur) = timed(|| {
             let mut algo = AlgorithmA::new(&inst, oracle, AOptions { grid, parallel: false });
             run_online(&inst, &mut algo, &oracle)

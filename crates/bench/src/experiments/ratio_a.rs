@@ -24,7 +24,10 @@ use crate::ExperimentConfig;
 pub fn run(cfg: &ExperimentConfig) -> Report {
     let mut report = Report::new("exp_ratio_a", "Theorem 8 / Corollary 9: Algorithm A ratios");
     let (d_max, seeds, horizon) = if cfg.quick { (2, 3, 16) } else { (3, 10, 40) };
-    report.kv("sweep", format!("d ≤ {d_max}, {seeds} seeds × {} families, T = {horizon}", FAMILIES.len()));
+    report.kv(
+        "sweep",
+        format!("d ≤ {d_max}, {seeds} seeds × {} families, T = {horizon}", FAMILIES.len()),
+    );
     report.blank();
 
     for constant_costs in [false, true] {
@@ -37,15 +40,12 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         let mut table =
             TextTable::new(["d", "bound", "max ratio", "mean ratio", "worst family", "samples"]);
         for d in 1..=d_max {
-            let bound =
-                if constant_costs { 2.0 * d as f64 } else { 2.0 * d as f64 + 1.0 };
+            let bound = if constant_costs { 2.0 * d as f64 } else { 2.0 * d as f64 + 1.0 };
             // One trial per (family, seed); fan out across threads.
             let trials: Vec<(families::Family, u64)> = FAMILIES
                 .iter()
                 .flat_map(|&family| {
-                    (0..seeds).map(move |s| {
-                        (family, cfg.seed ^ (s as u64) << 8 ^ (d as u64) << 16)
-                    })
+                    (0..seeds).map(move |s| (family, cfg.seed ^ (s as u64) << 8 ^ (d as u64) << 16))
                 })
                 .collect();
             let results = parallel_map(trials, |&(family, seed)| {
@@ -65,10 +65,11 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 (ratio, family.label())
             });
             let ratios: Vec<f64> = results.iter().map(|r| r.0).collect();
-            let worst = results
-                .iter()
-                .cloned()
-                .fold((0.0_f64, "-"), |acc, r| if r.0 > acc.0 { r } else { acc });
+            let worst =
+                results
+                    .iter()
+                    .cloned()
+                    .fold((0.0_f64, "-"), |acc, r| if r.0 > acc.0 { r } else { acc });
             let sum = summarize(&ratios);
             table.row([
                 d.to_string(),

@@ -20,9 +20,16 @@ use crate::ExperimentConfig;
 /// Run the Theorem 13 ratio experiment.
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Report {
-    let mut report = Report::new("exp_ratio_b", "Theorem 13: Algorithm B ratios (time-dependent costs)");
+    let mut report =
+        Report::new("exp_ratio_b", "Theorem 13: Algorithm B ratios (time-dependent costs)");
     let (d_max, seeds, horizon) = if cfg.quick { (2, 2, 16) } else { (2, 8, 32) };
-    report.kv("sweep", format!("d ≤ {d_max}, {seeds} seeds × {} families × 2 price shapes, T = {horizon}", FAMILIES.len()));
+    report.kv(
+        "sweep",
+        format!(
+            "d ≤ {d_max}, {seeds} seeds × {} families × 2 price shapes, T = {horizon}",
+            FAMILIES.len()
+        ),
+    );
     report.blank();
 
     let mut table = TextTable::new([
@@ -53,11 +60,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 let mut algo = AlgorithmB::new(&inst, oracle, AOptions::default());
                 let online = run_online(&inst, &mut algo, &oracle);
                 online.schedule.check_feasible(&inst).expect("Lemma 10");
-                let opt = dp_solve(
-                    &inst,
-                    &oracle,
-                    DpOptions { parallel: false, ..Default::default() },
-                );
+                let opt =
+                    dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
                 let ratio = online.ratio_vs(opt.cost);
                 assert!(
                     ratio <= bound + 1e-6,

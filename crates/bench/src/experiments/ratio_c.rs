@@ -19,11 +19,8 @@ use crate::ExperimentConfig;
 #[must_use]
 pub fn run(cfg: &ExperimentConfig) -> Report {
     let mut report = Report::new("exp_ratio_c", "Theorem 15: Algorithm C ratios (2d+1+ε)");
-    let (seeds, horizon, epsilons): (u64, usize, &[f64]) = if cfg.quick {
-        (2, 16, &[1.0, 0.5])
-    } else {
-        (6, 28, &[1.0, 0.5, 0.25])
-    };
+    let (seeds, horizon, epsilons): (u64, usize, &[f64]) =
+        if cfg.quick { (2, 16, &[1.0, 0.5]) } else { (6, 28, &[1.0, 0.5, 0.25]) };
     let d = 2usize;
     let fams = [Family::Sawtooth, Family::Jitter];
     report.kv("sweep", format!("d = {d}, {seeds} seeds × {} families, T = {horizon}", fams.len()));
@@ -48,21 +45,15 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 let seed = cfg.seed ^ s << 6 ^ (eps.to_bits() >> 50);
                 let inst = families::time_dependent(d, family, horizon, seed, true);
                 let oracle = Dispatcher::new();
-                let mut algo = AlgorithmC::new(
-                    &inst,
-                    oracle,
-                    COptions { epsilon: eps, ..Default::default() },
-                );
+                let mut algo =
+                    AlgorithmC::new(&inst, oracle, COptions { epsilon: eps, ..Default::default() });
                 let online = run_online(&inst, &mut algo, &oracle);
                 online.schedule.check_feasible(&inst).expect("feasible");
                 realized_c_max = realized_c_max.max(algo.realized_c());
                 subslots_max =
                     subslots_max.max(algo.subslot_log().iter().copied().max().unwrap_or(1));
-                let opt = dp_solve(
-                    &inst,
-                    &oracle,
-                    DpOptions { parallel: false, ..Default::default() },
-                );
+                let opt =
+                    dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
                 let ratio = online.ratio_vs(opt.cost);
                 assert!(
                     ratio <= bound + 1e-6,

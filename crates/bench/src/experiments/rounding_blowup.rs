@@ -77,7 +77,8 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             .build()
             .expect("valid instance");
         let oracle = Dispatcher::new();
-        let c_dp = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let c_dp =
+            solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
 
         table.row([
             format!("{delta}"),
@@ -86,10 +87,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
             format!("{:.2}×", c_rounded / c_frac),
             f(c_dp),
         ]);
-        assert!(
-            c_dp <= c_rounded + 1e-9,
-            "the discrete optimum can never lose to naive rounding"
-        );
+        assert!(c_dp <= c_rounded + 1e-9, "the discrete optimum can never lose to naive rounding");
     }
     report.table(&table);
     report.blank();

@@ -24,9 +24,7 @@ use crate::ExperimentConfig;
 /// Evaluate Algorithm A's ratio on one candidate load trace.
 fn ratio_for(d: usize, betas: &[f64], idles: &[f64], loads: &[f64]) -> f64 {
     let types: Vec<ServerType> = (0..d)
-        .map(|j| {
-            ServerType::new(format!("t{j}"), 2, betas[j], 1.0, CostModel::constant(idles[j]))
-        })
+        .map(|j| ServerType::new(format!("t{j}"), 2, betas[j], 1.0, CostModel::constant(idles[j])))
         .collect();
     let inst = Instance::builder()
         .server_types(types)
@@ -46,13 +44,7 @@ fn ratio_for(d: usize, betas: &[f64], idles: &[f64], loads: &[f64]) -> f64 {
 
 /// Hill-climb the load trace to maximize the ratio. Restarts run in
 /// parallel (each restart is an independent seeded climb).
-fn climb(
-    d: usize,
-    horizon: usize,
-    restarts: usize,
-    steps: usize,
-    seed: u64,
-) -> (f64, Vec<f64>) {
+fn climb(d: usize, horizon: usize, restarts: usize, steps: usize, seed: u64) -> (f64, Vec<f64>) {
     let cap = 2.0 * d as f64; // 2 servers of capacity 1 per type
     let betas: Vec<f64> = (0..d).map(|j| 2.0 + j as f64).collect();
     let idles: Vec<f64> = (0..d).map(|j| 1.0 + 0.5 * j as f64).collect();
@@ -93,8 +85,7 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
     report.kv("search", format!("T = {horizon}, {restarts} restarts × {steps} mutations"));
     report.blank();
 
-    let mut table =
-        TextTable::new(["d", "best ratio found", "lower bound 2d", "upper bound 2d+1"]);
+    let mut table = TextTable::new(["d", "best ratio found", "lower bound 2d", "upper bound 2d+1"]);
     for d in 1..=2usize {
         let (best, loads) = climb(d, horizon, restarts, steps, cfg.seed ^ (d as u64) << 5);
         let lower = 2.0 * d as f64;

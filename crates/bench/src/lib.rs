@@ -52,11 +52,7 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Figure 3: Algorithm B trace (exact paper data)",
             experiments::fig3::run,
         ),
-        (
-            "fig4_graph",
-            "Figure 4: graph representation and shortest path",
-            experiments::fig4::run,
-        ),
+        ("fig4_graph", "Figure 4: graph representation and shortest path", experiments::fig4::run),
         (
             "fig5_gamma_rounding",
             "Figure 5: corridor schedule X' on the gamma-grid",
@@ -67,16 +63,8 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Theorem 8 / Corollary 9: competitive ratio of Algorithm A",
             experiments::ratio_a::run,
         ),
-        (
-            "exp_ratio_b",
-            "Theorem 13: competitive ratio of Algorithm B",
-            experiments::ratio_b::run,
-        ),
-        (
-            "exp_ratio_c",
-            "Theorem 15: competitive ratio of Algorithm C",
-            experiments::ratio_c::run,
-        ),
+        ("exp_ratio_b", "Theorem 13: competitive ratio of Algorithm B", experiments::ratio_b::run),
+        ("exp_ratio_c", "Theorem 15: competitive ratio of Algorithm C", experiments::ratio_c::run),
         (
             "exp_approx_ratio",
             "Theorem 16: (2γ−1)-approximation quality",

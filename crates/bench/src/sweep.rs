@@ -3,10 +3,10 @@
 //! Ratio experiments evaluate hundreds of independent (instance, seed)
 //! pairs; each trial runs a full online algorithm plus an exact DP, so
 //! they dominate the harness's wall-clock. Trials are embarrassingly
-//! parallel: this helper fans them out over crossbeam scoped threads and
+//! parallel: this helper fans them out over std scoped threads and
 //! collects results in input order (so reports stay deterministic).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Map `f` over `inputs` in parallel, preserving input order.
 ///
@@ -29,22 +29,21 @@ where
     }
     let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f(&inputs[i]);
-                *slots[i].lock() = Some(out);
+                *slots[i].lock().expect("sweep worker panicked") = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|m| m.into_inner().expect("sweep worker panicked").expect("every slot filled"))
         .collect()
 }
 

@@ -111,19 +111,9 @@ mod tests {
     struct IdleOnly;
     impl GtOracle for IdleOnly {
         fn g(&self, instance: &Instance, t: usize, x: &[u32]) -> f64 {
-            x.iter()
-                .enumerate()
-                .map(|(j, &c)| f64::from(c) * instance.idle_cost(t, j))
-                .sum()
+            x.iter().enumerate().map(|(j, &c)| f64::from(c) * instance.idle_cost(t, j)).sum()
         }
-        fn g_scaled(
-            &self,
-            instance: &Instance,
-            t: usize,
-            x: &[u32],
-            _lambda: f64,
-            s: f64,
-        ) -> f64 {
+        fn g_scaled(&self, instance: &Instance, t: usize, x: &[u32], _lambda: f64, s: f64) -> f64 {
             s * self.g(instance, t, x)
         }
     }

@@ -64,11 +64,7 @@ impl Config {
     #[must_use]
     pub fn capacity(&self, types: &[ServerType]) -> f64 {
         debug_assert_eq!(types.len(), self.dims());
-        self.counts
-            .iter()
-            .zip(types)
-            .map(|(&x, ty)| f64::from(x) * ty.capacity)
-            .sum()
+        self.counts.iter().zip(types).map(|(&x, ty)| f64::from(x) * ty.capacity).sum()
     }
 
     /// `true` if this configuration can process job volume `lambda`.
@@ -111,13 +107,7 @@ impl Config {
     #[must_use]
     pub fn max_with(&self, other: &Config) -> Config {
         debug_assert_eq!(self.dims(), other.dims());
-        Config::new(
-            self.counts
-                .iter()
-                .zip(&other.counts)
-                .map(|(&a, &b)| a.max(b))
-                .collect(),
-        )
+        Config::new(self.counts.iter().zip(&other.counts).map(|(&a, &b)| a.max(b)).collect())
     }
 }
 

@@ -249,8 +249,8 @@ mod tests {
         // raised to the running maximum before hulling.
         let f = PiecewiseLinearCost::convex_envelope(&[
             (0.0, 2.0),
-            (0.0, 1.0),   // duplicate load, cheaper → wins
-            (1.0, 0.5),   // dips below idle → clipped up to 1.0
+            (0.0, 1.0), // duplicate load, cheaper → wins
+            (1.0, 0.5), // dips below idle → clipped up to 1.0
             (2.0, 3.0),
         ]);
         assert!(approx_eq(f.eval(0.0), 1.0));

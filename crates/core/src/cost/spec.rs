@@ -72,9 +72,7 @@ impl CostSpec {
     pub fn is_time_independent(&self) -> bool {
         match self {
             CostSpec::Uniform(_) => true,
-            CostSpec::Scaled { factors, .. } => {
-                factors.windows(2).all(|w| w[0] == w[1])
-            }
+            CostSpec::Scaled { factors, .. } => factors.windows(2).all(|w| w[0] == w[1]),
             CostSpec::PerSlot(_) => false,
         }
     }

@@ -93,10 +93,9 @@ impl fmt::Display for InstanceError {
                 "time-varying fleet sizes must be {}×{} but found {}×{}",
                 expected.0, expected.1, found.0, found.1
             ),
-            InstanceError::InfeasibleLoad { t, load, capacity } => write!(
-                f,
-                "load {load} at slot {t} exceeds the maximum capacity {capacity}"
-            ),
+            InstanceError::InfeasibleLoad { t, load, capacity } => {
+                write!(f, "load {load} at slot {t} exceeds the maximum capacity {capacity}")
+            }
             InstanceError::NonConvexCost { j, t, reason } => {
                 write!(f, "cost of type {j} at slot {t} is not convex increasing: {reason}")
             }

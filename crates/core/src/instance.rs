@@ -142,17 +142,14 @@ impl Instance {
     /// special case; Corollary 9 applies when also time-independent).
     #[must_use]
     pub fn is_load_independent(&self) -> bool {
-        (0..self.num_types()).all(|j| {
-            (0..self.horizon()).all(|t| self.cost(t, j).is_load_independent())
-        })
+        (0..self.num_types())
+            .all(|j| (0..self.horizon()).all(|t| self.cost(t, j).is_load_independent()))
     }
 
     /// Total capacity when every existing server of slot `t` is active.
     #[must_use]
     pub fn max_capacity_at(&self, t: usize) -> f64 {
-        (0..self.num_types())
-            .map(|j| f64::from(self.server_count(t, j)) * self.capacity(j))
-            .sum()
+        (0..self.num_types()).map(|j| f64::from(self.server_count(t, j)) * self.capacity(j)).sum()
     }
 
     /// `true` if configuration `x` is admissible at slot `t`: within fleet
@@ -175,10 +172,7 @@ impl Instance {
         Instance {
             types: self.types.clone(),
             loads: self.loads[..len].to_vec(),
-            counts_over_time: self
-                .counts_over_time
-                .as_ref()
-                .map(|m| m[..len].to_vec()),
+            counts_over_time: self.counts_over_time.as_ref().map(|m| m[..len].to_vec()),
         }
     }
 

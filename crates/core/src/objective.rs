@@ -27,8 +27,14 @@ pub trait GtOracle {
     /// the cost scale differ from the instance's own slots).
     ///
     /// `cost_scale` multiplies every cost function of the slot.
-    fn g_scaled(&self, instance: &Instance, t: usize, x: &[u32], lambda: f64, cost_scale: f64)
-        -> f64;
+    fn g_scaled(
+        &self,
+        instance: &Instance,
+        t: usize,
+        x: &[u32],
+        lambda: f64,
+        cost_scale: f64,
+    ) -> f64;
 }
 
 /// The cost of a schedule, split the way the paper's analysis splits it.
@@ -60,10 +66,8 @@ pub struct SlotCost {
 /// Total operating cost of `schedule` on `instance` under `oracle`.
 #[must_use]
 pub fn operating_cost(instance: &Instance, schedule: &Schedule, oracle: &dyn GtOracle) -> f64 {
-    let per_slot: Vec<f64> = schedule
-        .iter()
-        .map(|(t, x)| oracle.g(instance, t, x.counts()))
-        .collect();
+    let per_slot: Vec<f64> =
+        schedule.iter().map(|(t, x)| oracle.g(instance, t, x.counts())).collect();
     stable_sum(&per_slot)
 }
 
@@ -109,10 +113,7 @@ mod tests {
     struct IdleOnly;
     impl GtOracle for IdleOnly {
         fn g(&self, instance: &Instance, t: usize, x: &[u32]) -> f64 {
-            x.iter()
-                .enumerate()
-                .map(|(j, &c)| f64::from(c) * instance.idle_cost(t, j))
-                .sum()
+            x.iter().enumerate().map(|(j, &c)| f64::from(c) * instance.idle_cost(t, j)).sum()
         }
         fn g_scaled(
             &self,

@@ -33,13 +33,7 @@ impl ServerType {
         capacity: f64,
         cost: CostModel,
     ) -> Self {
-        Self {
-            name: name.into(),
-            count,
-            switching_cost,
-            capacity,
-            cost: CostSpec::Uniform(cost),
-        }
+        Self { name: name.into(), count, switching_cost, capacity, cost: CostSpec::Uniform(cost) }
     }
 
     /// A server type with an explicit (possibly time-dependent) cost spec.
@@ -51,13 +45,7 @@ impl ServerType {
         capacity: f64,
         cost: CostSpec,
     ) -> Self {
-        Self {
-            name: name.into(),
-            count,
-            switching_cost,
-            capacity,
-            cost,
-        }
+        Self { name: name.into(), count, switching_cost, capacity, cost }
     }
 
     /// Idle operating cost `f_{t,j}(0)` at slot `t` — the paper's `l_{t,j}`.

@@ -8,8 +8,7 @@ fn cost_model_strategy() -> impl Strategy<Value = CostModel> {
     prop_oneof![
         (0.0..5.0_f64).prop_map(CostModel::constant),
         (0.0..5.0_f64, 0.0..5.0_f64).prop_map(|(i, r)| CostModel::linear(i, r)),
-        (0.0..5.0_f64, 0.0..3.0_f64, 1.0..3.0_f64)
-            .prop_map(|(i, c, a)| CostModel::power(i, c, a)),
+        (0.0..5.0_f64, 0.0..3.0_f64, 1.0..3.0_f64).prop_map(|(i, c, a)| CostModel::power(i, c, a)),
         (0.0..5.0_f64, 0.0..3.0_f64, 0.0..2.0_f64)
             .prop_map(|(i, a, b)| CostModel::quadratic(i, a, b)),
     ]

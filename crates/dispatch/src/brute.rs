@@ -75,12 +75,7 @@ mod tests {
         let arms = collect(&inst, 0, &[2, 1]);
         let brute = solve(&arms, 4.0, 4000);
         let kkt = crate::kkt::solve(&arms, 4.0, 1e-12, 200);
-        assert!(
-            (brute.cost - kkt.cost).abs() < 1e-3,
-            "brute {} vs kkt {}",
-            brute.cost,
-            kkt.cost
-        );
+        assert!((brute.cost - kkt.cost).abs() < 1e-3, "brute {} vs kkt {}", brute.cost, kkt.cost);
         assert!(kkt.cost <= brute.cost + 1e-9, "kkt must not exceed the grid optimum");
     }
 

@@ -17,10 +17,7 @@ pub fn solve(arms: &[Arm<'_>], lambda: f64) -> DispatchSolution {
     // Order arm indices by marginal rate (cheapest first).
     let mut order: Vec<usize> = (0..arms.len()).collect();
     order.sort_by(|&a, &b| {
-        arms[a]
-            .affine_rate()
-            .partial_cmp(&arms[b].affine_rate())
-            .expect("rates are finite")
+        arms[a].affine_rate().partial_cmp(&arms[b].affine_rate()).expect("rates are finite")
     });
 
     let mut volumes = vec![0.0; arms.len()];

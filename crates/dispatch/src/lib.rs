@@ -104,7 +104,14 @@ impl Dispatcher {
 
     /// The optimal cost only (no allocation vector) — what the DP needs.
     #[must_use]
-    pub fn g_value(&self, instance: &Instance, t: usize, x: &[u32], lambda: f64, scale: f64) -> f64 {
+    pub fn g_value(
+        &self,
+        instance: &Instance,
+        t: usize,
+        x: &[u32],
+        lambda: f64,
+        scale: f64,
+    ) -> f64 {
         let arms = arms::collect(instance, t, x);
         if scale == 0.0 {
             // Zero-scaled slots cost nothing but must still be feasible.

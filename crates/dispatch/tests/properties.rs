@@ -17,16 +17,11 @@ fn arm_strategy() -> impl Strategy<Value = ArmSpec> {
     let model = prop_oneof![
         (0.1..3.0_f64).prop_map(CostModel::constant),
         (0.0..2.0_f64, 0.0..4.0_f64).prop_map(|(i, r)| CostModel::linear(i, r)),
-        (0.0..2.0_f64, 0.1..2.0_f64, 1.2..3.0_f64)
-            .prop_map(|(i, c, a)| CostModel::power(i, c, a)),
+        (0.0..2.0_f64, 0.1..2.0_f64, 1.2..3.0_f64).prop_map(|(i, c, a)| CostModel::power(i, c, a)),
         (0.0..2.0_f64, 0.0..2.0_f64, 0.1..1.5_f64)
             .prop_map(|(i, a, b)| CostModel::quadratic(i, a, b)),
     ];
-    (1u32..4, 0.5..4.0_f64, model).prop_map(|(count, zmax, model)| ArmSpec {
-        count,
-        zmax,
-        model,
-    })
+    (1u32..4, 0.5..4.0_f64, model).prop_map(|(count, zmax, model)| ArmSpec { count, zmax, model })
 }
 
 fn build_instance(specs: &[ArmSpec]) -> Instance {

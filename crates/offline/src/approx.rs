@@ -51,9 +51,8 @@ pub fn approximate_with_mode(
         GridMode::Full => 1.0,
         GridMode::Gamma(g) => g,
     };
-    let grid_cells = (0..instance.num_types())
-        .map(|j| grid.levels(instance.server_count(0, j)).len())
-        .product();
+    let grid_cells =
+        (0..instance.num_types()).map(|j| grid.levels(instance.server_count(0, j)).len()).product();
     let result = solve(instance, oracle, DpOptions { grid, parallel });
     ApproxResult { result, gamma, guarantee: grid.approximation_factor(), grid_cells }
 }
@@ -80,19 +79,12 @@ mod tests {
                     1.0,
                     CostModel::linear(rng.gen_range(0.1..1.0), rng.gen_range(0.0..2.0)),
                 ))
-                .loads(
-                    (0..8)
-                        .map(|_| rng.gen_range(0.0..f64::from(m)))
-                        .collect::<Vec<f64>>(),
-                )
+                .loads((0..8).map(|_| rng.gen_range(0.0..f64::from(m))).collect::<Vec<f64>>())
                 .build()
                 .unwrap();
             for eps in [0.5, 1.0, 2.0] {
-                let exact = dp_solve(
-                    &inst,
-                    &oracle,
-                    DpOptions { parallel: false, ..Default::default() },
-                );
+                let exact =
+                    dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
                 let approx = approximate(&inst, &oracle, eps, false);
                 assert!(approx.result.cost + 1e-9 >= exact.cost);
                 assert!(

@@ -28,16 +28,9 @@ pub fn solve(instance: &Instance, oracle: &dyn GtOracle) -> BruteResult {
     let d = instance.num_types();
     let tt = instance.horizon();
     let space: f64 = (0..tt)
-        .map(|t| {
-            (0..d)
-                .map(|j| f64::from(instance.server_count(t, j)) + 1.0)
-                .product::<f64>()
-        })
+        .map(|t| (0..d).map(|j| f64::from(instance.server_count(t, j)) + 1.0).product::<f64>())
         .product();
-    assert!(
-        space <= 1e8,
-        "brute force restricted to tiny instances, got |space| ≈ {space:e}"
-    );
+    assert!(space <= 1e8, "brute force restricted to tiny instances, got |space| ≈ {space:e}");
 
     // Pre-compute per-slot admissible configs and their g_t values.
     let per_slot: Vec<Vec<(Config, f64)>> = (0..tt)
@@ -68,12 +61,8 @@ pub fn solve(instance: &Instance, oracle: &dyn GtOracle) -> BruteResult {
         &mut best,
         &mut evaluated,
     );
-    let schedule = Schedule::new(
-        best.iter()
-            .enumerate()
-            .map(|(t, &i)| per_slot[t][i].0.clone())
-            .collect(),
-    );
+    let schedule =
+        Schedule::new(best.iter().enumerate().map(|(t, &i)| per_slot[t][i].0.clone()).collect());
     BruteResult { cost: best_cost, schedule, evaluated }
 }
 
@@ -174,8 +163,7 @@ mod tests {
                 })
                 .collect();
             let max_cap: f64 = types.iter().map(ServerType::fleet_capacity).sum();
-            let loads: Vec<f64> =
-                (0..tt).map(|_| rng.gen_range(0.0..max_cap)).collect();
+            let loads: Vec<f64> = (0..tt).map(|_| rng.gen_range(0.0..max_cap)).collect();
             let inst = Instance::builder().server_types(types).loads(loads).build().unwrap();
             let brute = solve(&inst, &oracle);
             let dp = dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });

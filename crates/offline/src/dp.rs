@@ -126,9 +126,8 @@ pub fn dp_step_scaled(
     options: DpOptions,
 ) -> Table {
     let d = instance.num_types();
-    let levels: Vec<Vec<u32>> = (0..d)
-        .map(|j| options.grid.levels(instance.server_count(t, j)))
-        .collect();
+    let levels: Vec<Vec<u32>> =
+        (0..d).map(|j| options.grid.levels(instance.server_count(t, j))).collect();
     let mut cur = arrival_transform(prev, &levels, betas);
     fill_cells(&mut cur, options.parallel, |_, counts, v| {
         if v.is_finite() {
@@ -253,10 +252,7 @@ mod tests {
             .unwrap();
         let oracle = Dispatcher::new();
         let res = solve(&inst, &oracle, DpOptions::default());
-        assert_eq!(
-            res.schedule,
-            Schedule::from_counts(vec![vec![1], vec![1], vec![1], vec![1]])
-        );
+        assert_eq!(res.schedule, Schedule::from_counts(vec![vec![1], vec![1], vec![1], vec![1]]));
         assert!((res.cost - (4.0 + 4.0)).abs() < 1e-9);
     }
 
@@ -269,10 +265,7 @@ mod tests {
             .build()
             .unwrap();
         let res = solve(&inst, &Dispatcher::new(), DpOptions::default());
-        assert_eq!(
-            res.schedule,
-            Schedule::from_counts(vec![vec![1], vec![0], vec![0], vec![1]])
-        );
+        assert_eq!(res.schedule, Schedule::from_counts(vec![vec![1], vec![0], vec![0], vec![1]]));
         // 2 power-ups + 2 active slots
         assert!((res.cost - 4.0).abs() < 1e-9);
     }
@@ -288,10 +281,7 @@ mod tests {
             .build()
             .unwrap();
         let res = solve(&inst, &Dispatcher::new(), DpOptions::default());
-        assert_eq!(
-            res.schedule,
-            Schedule::from_counts(vec![vec![0, 1], vec![0, 1], vec![0, 1]])
-        );
+        assert_eq!(res.schedule, Schedule::from_counts(vec![vec![0, 1], vec![0, 1], vec![0, 1]]));
         assert!((res.cost - (1.0 + 3.0 * 1.5)).abs() < 1e-9);
     }
 
@@ -305,11 +295,8 @@ mod tests {
         let oracle = Dispatcher::new();
         let exact = solve(&inst, &oracle, DpOptions::default());
         let gamma = 1.5;
-        let approx = solve(
-            &inst,
-            &oracle,
-            DpOptions { grid: GridMode::Gamma(gamma), parallel: false },
-        );
+        let approx =
+            solve(&inst, &oracle, DpOptions { grid: GridMode::Gamma(gamma), parallel: false });
         approx.schedule.check_feasible(&inst).unwrap();
         assert!(approx.cost + 1e-9 >= exact.cost, "approx can't beat exact");
         assert!(

@@ -54,9 +54,8 @@ pub fn solve(instance: &Instance, oracle: &(impl GtOracle + Sync), grid: GridMod
     // `tables[t][x]` = shortest distance to v↓_{t,x} (i.e. OPT_t(x)).
     let mut tables: Vec<Table> = Vec::with_capacity(tt);
     for t in 0..tt {
-        let levels: Vec<Vec<u32>> = (0..d)
-            .map(|j| grid.levels(instance.server_count(t, j)))
-            .collect();
+        let levels: Vec<Vec<u32>> =
+            (0..d).map(|j| grid.levels(instance.server_count(t, j))).collect();
         // Arrival at the ↑ layer of slot t.
         let mut up = match tables.last() {
             None => {

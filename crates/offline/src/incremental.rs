@@ -64,7 +64,12 @@ impl PrefixDp {
     ///
     /// `t` must equal the number of slots processed so far (slots arrive
     /// in order, exactly once).
-    pub fn step(&mut self, instance: &Instance, oracle: &(impl GtOracle + Sync), t: usize) -> Config {
+    pub fn step(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + Sync),
+        t: usize,
+    ) -> Config {
         self.step_scaled(instance, oracle, t, instance.load(t), 1.0)
     }
 
@@ -90,10 +95,8 @@ impl PrefixDp {
             self.options,
         );
         self.slots_processed += 1;
-        let idx = self
-            .table
-            .argmin()
-            .expect("prefix instance feasible, so OPT_t has a finite cell");
+        let idx =
+            self.table.argmin().expect("prefix instance feasible, so OPT_t has a finite cell");
         self.table.config_of(idx)
     }
 }

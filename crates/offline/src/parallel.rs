@@ -46,13 +46,12 @@ where
     }
 
     let chunk_size = total.div_ceil(threads * 4).max(64);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, chunk) in values.chunks_mut(chunk_size).enumerate() {
             let run = &run_chunk;
-            s.spawn(move |_| run(ci * chunk_size, chunk));
+            s.spawn(move || run(ci * chunk_size, chunk));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Mixed-radix odometer over per-dimension sizes, last dimension fastest.
@@ -140,14 +139,7 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![
-                vec![0, 0],
-                vec![0, 1],
-                vec![0, 2],
-                vec![1, 0],
-                vec![1, 1],
-                vec![1, 2]
-            ]
+            vec![vec![0, 0], vec![0, 1], vec![0, 2], vec![1, 0], vec![1, 1], vec![1, 2]]
         );
     }
 }

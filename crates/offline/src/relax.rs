@@ -57,11 +57,9 @@ fn subdivide_model(model: &CostModel, k: f64) -> CostModel {
             // (idle + coef·(kz)^α)/k = idle/k + coef·k^{α−1}·z^α
             CostModel::power(p.idle_cost() / k, p.coef() * k.powf(p.alpha() - 1.0), p.alpha())
         }
-        CostModel::Quadratic(q) => CostModel::quadratic(
-            q.idle_cost() / k,
-            q.linear_coef(),
-            q.quadratic_coef() * k,
-        ),
+        CostModel::Quadratic(q) => {
+            CostModel::quadratic(q.idle_cost() / k, q.linear_coef(), q.quadratic_coef() * k)
+        }
         other => CostModel::Custom(Arc::new(SubdividedCost { inner: other.clone(), k })),
     }
 }
@@ -69,10 +67,9 @@ fn subdivide_model(model: &CostModel, k: f64) -> CostModel {
 fn subdivide_spec(spec: &CostSpec, k: f64) -> CostSpec {
     match spec {
         CostSpec::Uniform(m) => CostSpec::Uniform(subdivide_model(m, k)),
-        CostSpec::Scaled { base, factors } => CostSpec::Scaled {
-            base: subdivide_model(base, k),
-            factors: factors.clone(),
-        },
+        CostSpec::Scaled { base, factors } => {
+            CostSpec::Scaled { base: subdivide_model(base, k), factors: factors.clone() }
+        }
         CostSpec::PerSlot(models) => CostSpec::PerSlot(
             models.iter().map(|m| subdivide_model(m, k)).collect::<Vec<_>>().into(),
         ),
@@ -104,9 +101,7 @@ pub fn subdivide(instance: &Instance, k: u32) -> Instance {
     let mut builder = Instance::builder().server_types(types).loads(instance.loads().to_vec());
     if instance.has_time_varying_counts() {
         let counts: Vec<Vec<u32>> = (0..instance.horizon())
-            .map(|t| {
-                (0..instance.num_types()).map(|j| instance.server_count(t, j) * k).collect()
-            })
+            .map(|t| (0..instance.num_types()).map(|j| instance.server_count(t, j) * k).collect())
             .collect();
         builder = builder.counts_over_time(counts);
     }
@@ -147,8 +142,14 @@ mod tests {
     fn k1_is_identity_in_cost() {
         let inst = instance();
         let oracle = Dispatcher::new();
-        let base = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
-        let k1 = fractional_lower_bound(&inst, &oracle, 1, DpOptions { parallel: false, ..Default::default() });
+        let base =
+            solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let k1 = fractional_lower_bound(
+            &inst,
+            &oracle,
+            1,
+            DpOptions { parallel: false, ..Default::default() },
+        );
         assert!((base - k1).abs() < 1e-9);
     }
 
@@ -187,10 +188,7 @@ mod tests {
             for z in [0.0, 0.3, 0.8] {
                 let whole = orig.eval(z);
                 let split = f64::from(k) * new.eval(z / f64::from(k));
-                assert!(
-                    (whole - split).abs() < 1e-9,
-                    "type {j} z={z}: {whole} vs {split}"
-                );
+                assert!((whole - split).abs() < 1e-9, "type {j} z={z}: {whole} vs {split}");
             }
         }
     }

@@ -111,12 +111,7 @@ impl Table {
     #[must_use]
     pub fn config_of(&self, idx: usize) -> Config {
         let pos = self.positions_of(idx);
-        Config::new(
-            pos.iter()
-                .enumerate()
-                .map(|(j, &p)| self.levels[j][p])
-                .collect(),
-        )
+        Config::new(pos.iter().enumerate().map(|(j, &p)| self.levels[j][p]).collect())
     }
 
     /// Flat index of a configuration, if every count is on the grid.

@@ -211,10 +211,7 @@ mod tests {
             let naive = arrival_transform_naive(&t, &levels_out, &betas);
             for i in 0..fast.len() {
                 let (a, b) = (fast.values()[i], naive.values()[i]);
-                assert!(
-                    (a == b) || (a - b).abs() < 1e-9,
-                    "cell {i}: fast {a} vs naive {b}"
-                );
+                assert!((a == b) || (a - b).abs() < 1e-9, "cell {i}: fast {a} vs naive {b}");
             }
         }
     }

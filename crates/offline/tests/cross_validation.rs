@@ -4,7 +4,7 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rsz_core::cost::PiecewiseLinearCost;
-use rsz_core::{CostModel, CostSpec, Instance, ServerType};
+use rsz_core::{CostModel, Instance, ServerType};
 use rsz_dispatch::Dispatcher;
 use rsz_offline::dp::{solve, solve_cost_only, DpOptions};
 use rsz_offline::rounding::{corridor_invariant_holds, corridor_schedule};
@@ -14,7 +14,11 @@ fn random_cost(rng: &mut StdRng) -> CostModel {
     match rng.gen_range(0..4) {
         0 => CostModel::constant(rng.gen_range(0.2..2.0)),
         1 => CostModel::linear(rng.gen_range(0.0..1.5), rng.gen_range(0.0..2.0)),
-        2 => CostModel::power(rng.gen_range(0.0..1.0), rng.gen_range(0.1..1.5), rng.gen_range(1.0..3.0)),
+        2 => CostModel::power(
+            rng.gen_range(0.0..1.0),
+            rng.gen_range(0.1..1.5),
+            rng.gen_range(1.0..3.0),
+        ),
         _ => {
             // Random convex piecewise-linear curve with increasing slopes.
             let idle = rng.gen_range(0.0..1.0);
@@ -61,11 +65,7 @@ fn random_instance(rng: &mut StdRng, time_varying_m: bool) -> Instance {
     let loads: Vec<f64> = (0..horizon)
         .map(|t| {
             let cap: f64 = match &counts {
-                Some(m) => m[t]
-                    .iter()
-                    .zip(&types)
-                    .map(|(&c, ty)| f64::from(c) * ty.capacity)
-                    .sum(),
+                Some(m) => m[t].iter().zip(&types).map(|(&c, ty)| f64::from(c) * ty.capacity).sum(),
                 None => types.iter().map(ServerType::fleet_capacity).sum(),
             };
             rng.gen_range(0.0..cap)

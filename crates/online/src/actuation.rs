@@ -88,11 +88,7 @@ impl ActuationPlan {
     /// Total power-up commands of a type (= the schedule's power-ups).
     #[must_use]
     pub fn total_cycles(&self, type_index: usize) -> u64 {
-        self.server_stats
-            .iter()
-            .filter(|s| s.type_index == type_index)
-            .map(|s| s.power_ups)
-            .sum()
+        self.server_stats.iter().filter(|s| s.type_index == type_index).map(|s| s.power_ups).sum()
     }
 }
 
@@ -110,9 +106,8 @@ pub fn actuate(instance: &Instance, schedule: &Schedule, policy: DownPolicy) -> 
     let mut active: Vec<Vec<u32>> = vec![Vec::new(); d];
     // Free pools per type: ids not currently active, most recently freed
     // last (reused LIFO so ids stay compact).
-    let mut free: Vec<Vec<u32>> = (0..d)
-        .map(|j| (0..instance.max_counts()[j]).rev().collect())
-        .collect();
+    let mut free: Vec<Vec<u32>> =
+        (0..d).map(|j| (0..instance.max_counts()[j]).rev().collect()).collect();
     let mut stats: Vec<Vec<ServerStats>> = (0..d)
         .map(|j| {
             (0..instance.max_counts()[j])

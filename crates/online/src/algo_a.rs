@@ -86,7 +86,10 @@ impl<O: GtOracle + Sync> AlgorithmA<O> {
             .collect();
         Self {
             oracle,
-            prefix: PrefixDp::new(instance, DpOptions { grid: options.grid, parallel: options.parallel }),
+            prefix: PrefixDp::new(
+                instance,
+                DpOptions { grid: options.grid, parallel: options.parallel },
+            ),
             x: vec![0; d],
             w: Vec::new(),
             tbar,

@@ -96,7 +96,13 @@ impl BCore {
     /// the internal prefix optimum. Used by the figure-reproduction
     /// experiments, which replay the paper's hand-set `x̂^t_t` series
     /// through the real power-up/-down machinery.
-    pub fn step_with_target(&mut self, instance: &Instance, t: usize, xhat: &Config, scale: f64) -> Config {
+    pub fn step_with_target(
+        &mut self,
+        instance: &Instance,
+        t: usize,
+        xhat: &Config,
+        scale: f64,
+    ) -> Config {
         self.retire(instance, t, scale);
         self.raise_to(xhat);
         self.steps += 1;
@@ -182,9 +188,8 @@ pub fn c_constant(instance: &Instance) -> f64 {
     (0..instance.num_types())
         .map(|j| {
             let beta = instance.switching_cost(j);
-            let max_idle = (0..instance.horizon())
-                .map(|t| instance.idle_cost(t, j))
-                .fold(0.0_f64, f64::max);
+            let max_idle =
+                (0..instance.horizon()).map(|t| instance.idle_cost(t, j)).fold(0.0_f64, f64::max);
             if max_idle == 0.0 {
                 0.0
             } else if beta == 0.0 {
@@ -253,11 +258,7 @@ mod tests {
         let opt = solve(&inst, &oracle, OffOptions { parallel: false, ..Default::default() });
         let d = inst.num_types() as f64;
         let bound = (2.0 * d + 1.0 + c_constant(&inst)) * opt.cost;
-        assert!(
-            online.cost() <= bound + 1e-9,
-            "B cost {} vs bound {bound}",
-            online.cost()
-        );
+        assert!(online.cost() <= bound + 1e-9, "B cost {} vs bound {bound}", online.cost());
     }
 
     #[test]

@@ -182,11 +182,8 @@ mod tests {
         let inst = time_varying_instance();
         let oracle = Dispatcher::new();
         for eps in [0.25, 0.5, 1.0] {
-            let mut c = AlgorithmC::new(
-                &inst,
-                oracle,
-                COptions { epsilon: eps, ..Default::default() },
-            );
+            let mut c =
+                AlgorithmC::new(&inst, oracle, COptions { epsilon: eps, ..Default::default() });
             let online = run(&inst, &mut c, &oracle);
             online.schedule.check_feasible(&inst).unwrap();
             let opt = solve(&inst, &oracle, OffOptions { parallel: false, ..Default::default() });
@@ -230,11 +227,8 @@ mod tests {
     fn refinement_beats_plain_b_constant() {
         let inst = time_varying_instance();
         let oracle = Dispatcher::new();
-        let mut c = AlgorithmC::new(
-            &inst,
-            oracle,
-            COptions { epsilon: 0.25, ..Default::default() },
-        );
+        let mut c =
+            AlgorithmC::new(&inst, oracle, COptions { epsilon: 0.25, ..Default::default() });
         let _ = run(&inst, &mut c, &oracle);
         assert!(
             c.realized_c() < c_constant(&inst),

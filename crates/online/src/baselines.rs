@@ -175,12 +175,7 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for ReactiveTimeout<O> {
                 let win = self.timeouts[j].saturating_add(1);
                 let from = self.needed.len().saturating_sub(win);
                 let m = instance.server_count(t, j);
-                self.needed[from..]
-                    .iter()
-                    .map(|row| row[j])
-                    .max()
-                    .unwrap_or(0)
-                    .min(m)
+                self.needed[from..].iter().map(|row| row[j]).max().unwrap_or(0).min(m)
             })
             .collect();
         Config::new(counts)
@@ -229,15 +224,9 @@ pub fn best_static(
 }
 
 /// Enumerate configurations on slot `t`'s grid.
-fn for_each_grid_config(
-    instance: &Instance,
-    t: usize,
-    grid: GridMode,
-    f: impl FnMut(&Config),
-) {
-    let levels: Vec<Vec<u32>> = (0..instance.num_types())
-        .map(|j| grid.levels(instance.server_count(t, j)))
-        .collect();
+fn for_each_grid_config(instance: &Instance, t: usize, grid: GridMode, f: impl FnMut(&Config)) {
+    let levels: Vec<Vec<u32>> =
+        (0..instance.num_types()).map(|j| grid.levels(instance.server_count(t, j))).collect();
     for_each_levels_config(&levels, f);
 }
 
@@ -246,11 +235,7 @@ fn for_each_levels_config(levels: &[Vec<u32>], mut f: impl FnMut(&Config)) {
     let bounds: Vec<u32> = levels.iter().map(|l| (l.len() - 1) as u32).collect();
     for pos in enumerate_configs(&bounds) {
         let cfg = Config::new(
-            pos.counts()
-                .iter()
-                .enumerate()
-                .map(|(j, &p)| levels[j][p as usize])
-                .collect(),
+            pos.counts().iter().enumerate().map(|(j, &p)| levels[j][p as usize]).collect(),
         );
         f(&cfg);
     }

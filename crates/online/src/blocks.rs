@@ -48,11 +48,8 @@ pub struct BlockDecomposition {
 pub fn decompose(w: &[u32], tbar: usize) -> BlockDecomposition {
     assert!(tbar >= 1, "runtime must be at least one slot");
     // Power-up slots with multiplicity: s_{j,1} ≤ s_{j,2} ≤ …
-    let starts: Vec<usize> = w
-        .iter()
-        .enumerate()
-        .flat_map(|(t, &n)| std::iter::repeat_n(t, n as usize))
-        .collect();
+    let starts: Vec<usize> =
+        w.iter().enumerate().flat_map(|(t, &n)| std::iter::repeat_n(t, n as usize)).collect();
     let blocks: Vec<Block> =
         starts.iter().map(|&s| Block { start: s, end: s + tbar - 1 }).collect();
 
@@ -79,12 +76,7 @@ pub fn decompose(w: &[u32], tbar: usize) -> BlockDecomposition {
     let index_sets: Vec<Vec<usize>> = special_slots
         .iter()
         .map(|&tau| {
-            blocks
-                .iter()
-                .enumerate()
-                .filter(|(_, b)| b.contains(tau))
-                .map(|(i, _)| i)
-                .collect()
+            blocks.iter().enumerate().filter(|(_, b)| b.contains(tau)).map(|(i, _)| i).collect()
         })
         .collect();
 
@@ -149,10 +141,7 @@ mod tests {
                 .map(|_| if rng.gen_bool(0.3) { rng.gen_range(1..4) } else { 0 })
                 .collect();
             let dec = decompose(&w, tbar);
-            assert!(
-                dec.is_partition(),
-                "tbar={tbar} w={w:?} dec={dec:?}"
-            );
+            assert!(dec.is_partition(), "tbar={tbar} w={w:?} dec={dec:?}");
             assert!(dec.spacing_at_least(tbar));
         }
     }

@@ -31,17 +31,10 @@ impl<O: GtOracle + Sync> LazyCapacityProvisioning<O> {
     /// Panics if the instance has more than one server type.
     #[must_use]
     pub fn new(instance: &Instance, oracle: O) -> Self {
-        assert_eq!(
-            instance.num_types(),
-            1,
-            "LCP is defined for homogeneous data centers (d = 1)"
-        );
+        assert_eq!(instance.num_types(), 1, "LCP is defined for homogeneous data centers (d = 1)");
         Self {
             oracle,
-            prefix: PrefixDp::new(
-                instance,
-                DpOptions { grid: GridMode::Full, parallel: false },
-            ),
+            prefix: PrefixDp::new(instance, DpOptions { grid: GridMode::Full, parallel: false }),
             x: 0,
         }
     }

@@ -46,7 +46,8 @@ fn a_and_b_both_within_their_bounds_on_time_independent_costs() {
     for _ in 0..10 {
         let inst = random_time_independent(&mut rng);
         let d = inst.num_types() as f64;
-        let opt = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let opt =
+            solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
         let run_a = {
             let mut a = AlgorithmA::new(&inst, oracle, AOptions::default());
             run(&inst, &mut a, &oracle)
@@ -58,9 +59,8 @@ fn a_and_b_both_within_their_bounds_on_time_independent_costs() {
         // Time-independent costs make B a variant of A whose runtime is
         // ⌊β/l⌋+1 instead of ⌈β/l⌉ — both satisfy Theorem 13's envelope
         // (c(I) = l/β per type).
-        let c: f64 = (0..inst.num_types())
-            .map(|j| inst.idle_cost(0, j) / inst.switching_cost(j))
-            .sum();
+        let c: f64 =
+            (0..inst.num_types()).map(|j| inst.idle_cost(0, j) / inst.switching_cost(j)).sum();
         for r in [&run_a, &run_b] {
             assert!(
                 r.cost() <= (2.0 * d + 1.0 + c) * opt + 1e-6,
@@ -144,7 +144,8 @@ fn prefix_backend_gamma_never_undercuts_opt() {
     let oracle = Dispatcher::new();
     for _ in 0..6 {
         let inst = random_time_independent(&mut rng);
-        let opt = solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
+        let opt =
+            solve_cost_only(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
         for grid in [
             rsz_offline::GridMode::Full,
             rsz_offline::GridMode::Gamma(1.5),

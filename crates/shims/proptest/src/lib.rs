@@ -1,0 +1,199 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim implements the subset the workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) generating
+//!   one `#[test]` per property,
+//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`, and `boxed`,
+//! * range strategies (`0.0..5.0_f64`, `1u32..=3`, …), tuple strategies up
+//!   to arity 6, [`collection::vec`], [`Just`], and the [`prop_oneof!`]
+//!   union,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Unlike the real framework there is **no shrinking**: a failing case
+//! panics immediately with the generated inputs left to the assertion
+//! message. Each test's generator is seeded deterministically from the test
+//! name, so failures reproduce across runs. Swapping the real crate back in
+//! requires no source changes.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Run-time knobs for a [`proptest!`] block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep offline CI fast.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test generator, seeded from the test's name (FNV-1a).
+///
+/// Public for use by the [`proptest!`] expansion; not part of the mirrored
+/// upstream API.
+#[must_use]
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module alias so `prop::collection::vec(...)` resolves as it does with
+    /// the real crate's prelude.
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
+}
+
+/// Re-export at crate root, mirroring `proptest::collection`.
+pub use strategy::collection;
+
+/// Asserts a property-test condition (shim: plain `assert!`, no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality in a property test (shim: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality in a property test (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Must appear inside a [`proptest!`] body (the expansion returns early from
+/// the per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err("prop_assume rejected the case");
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type, mirroring
+/// `proptest::prop_oneof!` (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supported form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0.0..1.0_f64, v in prop::collection::vec(0u32..6, 2..4)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($($cfg:tt)*)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$($cfg)*] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Splits a `proptest!` block into individual test functions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$($cfg:tt)*]) => {};
+    ([$($cfg:tt)*]
+     $(#[$meta:meta])*
+     fn $name:ident ($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_case!{ @args [$($cfg)*] $(#[$meta])* fn $name $body [] $($params)* }
+        $crate::__proptest_fns!{ [$($cfg)*] $($rest)* }
+    };
+}
+
+/// Parses one test's `arg in strategy` list, then emits the test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Peel `arg in strategy,` (more parameters follow).
+    (@args [$($cfg:tt)*] $(#[$meta:meta])* fn $name:ident $body:block
+     [$([$arg:ident $strat:tt])*] $next:ident in $nstrat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case!{ @args [$($cfg)*] $(#[$meta])* fn $name $body
+            [$([$arg $strat])* [$next ($nstrat)]] $($rest)* }
+    };
+    // Peel the final `arg in strategy` (no trailing comma).
+    (@args [$($cfg:tt)*] $(#[$meta:meta])* fn $name:ident $body:block
+     [$([$arg:ident $strat:tt])*] $next:ident in $nstrat:expr) => {
+        $crate::__proptest_case!{ @args [$($cfg)*] $(#[$meta])* fn $name $body
+            [$([$arg $strat])* [$next ($nstrat)]] }
+    };
+    // All parameters parsed: emit the test.
+    (@args [$($cfg:tt)*] $(#[$meta:meta])* fn $name:ident $body:block
+     [$([$arg:ident $strat:tt])*]) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $($cfg)*;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), &'static str> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                // Err means a prop_assume! rejected the case; move on.
+                let _ = __outcome;
+            }
+        }
+    };
+}

@@ -20,11 +20,7 @@ use crate::trace::Trace;
 /// algorithm's keep-or-kill decision is maximally ambiguous.
 #[must_use]
 pub fn ski_rental_probe(len: usize, high: f64, gap: usize) -> Trace {
-    Trace::new(
-        (0..len)
-            .map(|t| if t % (gap + 1) == 0 { high } else { 0.0 })
-            .collect(),
-    )
+    Trace::new((0..len).map(|t| if t % (gap + 1) == 0 { high } else { 0.0 }).collect())
 }
 
 /// Sawtooth oscillation between two levels with randomized dwell times —
@@ -87,13 +83,7 @@ pub fn jitter(len: usize, max: f64, p_zero: f64, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
     Trace::new(
         (0..len)
-            .map(|_| {
-                if rng.gen::<f64>() < p_zero {
-                    0.0
-                } else {
-                    rng.gen_range(0.0..=max)
-                }
-            })
+            .map(|_| if rng.gen::<f64>() < p_zero { 0.0 } else { rng.gen_range(0.0..=max) })
             .collect(),
     )
 }

@@ -85,9 +85,7 @@ pub fn play(d: usize, policy: EscapePolicy) -> ChasingOutcome {
                     0 // forced power-up of bit 0
                 }
             }
-            EscapePolicy::RandomBit(_) => {
-                rng.as_mut().expect("rng initialized").gen_range(0..d)
-            }
+            EscapePolicy::RandomBit(_) => rng.as_mut().expect("rng initialized").gen_range(0..d),
             EscapePolicy::RoundRobin => {
                 let b = rr;
                 rr = (rr + 1) % d;
@@ -101,10 +99,8 @@ pub fn play(d: usize, policy: EscapePolicy) -> ChasingOutcome {
         pos ^= mask;
     }
     // Offline: move once (at the start) to a vertex that is never zapped.
-    let refuge = visited
-        .iter()
-        .position(|&v| !v)
-        .expect("2^d vertices, only 2^d − 1 zapped") as u32;
+    let refuge =
+        visited.iter().position(|&v| !v).expect("2^d vertices, only 2^d − 1 zapped") as u32;
     let offline_cost = f64::from(refuge.count_ones());
     ChasingOutcome { d, horizon, online_cost, offline_cost }
 }

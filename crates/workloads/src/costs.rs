@@ -49,9 +49,7 @@ pub fn price_profile_diurnal(len: usize, night: f64, day: f64, period: usize) ->
 #[must_use]
 pub fn price_profile_spiky(len: usize, base: f64, surge: f64, surge_every: usize) -> Vec<f64> {
     assert!(surge_every > 0);
-    (0..len)
-        .map(|t| if t % surge_every == surge_every - 1 { surge } else { base })
-        .collect()
+    (0..len).map(|t| if t % surge_every == surge_every - 1 { surge } else { base }).collect()
 }
 
 #[cfg(test)]

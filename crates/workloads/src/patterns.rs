@@ -31,7 +31,13 @@ pub fn diurnal(len: usize, base: f64, amplitude: f64, period: usize, phase: f64)
 /// A work week: `days` diurnal days of which every 6th and 7th day run at
 /// `weekend_factor` of the weekday level.
 #[must_use]
-pub fn work_week(days: usize, slots_per_day: usize, base: f64, amplitude: f64, weekend_factor: f64) -> Trace {
+pub fn work_week(
+    days: usize,
+    slots_per_day: usize,
+    base: f64,
+    amplitude: f64,
+    weekend_factor: f64,
+) -> Trace {
     let mut values = Vec::with_capacity(days * slots_per_day);
     for day in 0..days {
         let weekend = day % 7 >= 5;
@@ -49,11 +55,7 @@ pub fn ramp(len: usize, from: f64, to: f64) -> Trace {
     if len <= 1 {
         return Trace::new(vec![from; len]);
     }
-    Trace::new(
-        (0..len)
-            .map(|t| from + (to - from) * t as f64 / (len - 1) as f64)
-            .collect(),
-    )
+    Trace::new((0..len).map(|t| from + (to - from) * t as f64 / (len - 1) as f64).collect())
 }
 
 /// Square wave alternating `high` for `high_len` slots and `low` for
@@ -62,11 +64,7 @@ pub fn ramp(len: usize, from: f64, to: f64) -> Trace {
 pub fn square_wave(len: usize, high: f64, low: f64, high_len: usize, low_len: usize) -> Trace {
     assert!(high_len + low_len > 0, "period must be positive");
     let period = high_len + low_len;
-    Trace::new(
-        (0..len)
-            .map(|t| if t % period < high_len { high } else { low })
-            .collect(),
-    )
+    Trace::new((0..len).map(|t| if t % period < high_len { high } else { low }).collect())
 }
 
 /// A single spike of `height` at slot `at`, zero elsewhere.

@@ -25,7 +25,13 @@ pub fn instance_from(types: Vec<ServerType>, trace: Trace) -> Instance {
 /// of the baseline-comparison experiment. `slots_per_day` of 24 gives
 /// hourly slots.
 #[must_use]
-pub fn diurnal_cpu_gpu(cpus: u32, gpus: u32, days: usize, slots_per_day: usize, seed: u64) -> Instance {
+pub fn diurnal_cpu_gpu(
+    cpus: u32,
+    gpus: u32,
+    days: usize,
+    slots_per_day: usize,
+    seed: u64,
+) -> Instance {
     let types = fleet::cpu_gpu(cpus, gpus);
     let cap = fleet::total_capacity(&types);
     let base = patterns::work_week(days, slots_per_day, 0.1 * cap, 0.7 * cap, 0.35);
@@ -93,14 +99,10 @@ pub fn expansion(len: usize) -> Instance {
             vec![4, new]
         })
         .collect();
-    let caps: Vec<f64> = counts.iter().map(|c| 1.0 * f64::from(c[0]) + 2.0 * f64::from(c[1])).collect();
+    let caps: Vec<f64> =
+        counts.iter().map(|c| 1.0 * f64::from(c[0]) + 2.0 * f64::from(c[1])).collect();
     let ramp = patterns::ramp(len, 1.0, caps.last().copied().unwrap_or(4.0) * 0.9);
-    let loads: Vec<f64> = ramp
-        .values()
-        .iter()
-        .zip(&caps)
-        .map(|(&l, &c)| l.min(c))
-        .collect();
+    let loads: Vec<f64> = ramp.values().iter().zip(&caps).map(|(&l, &c)| l.min(c)).collect();
     Instance::builder()
         .server_types(types)
         .loads(loads)

@@ -10,13 +10,7 @@ use crate::trace::Trace;
 #[must_use]
 pub fn with_gaussian_noise(trace: &Trace, sigma: f64, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
-    Trace::new(
-        trace
-            .values()
-            .iter()
-            .map(|&v| v + sigma * gaussian(&mut rng))
-            .collect(),
-    )
+    Trace::new(trace.values().iter().map(|&v| v + sigma * gaussian(&mut rng)).collect())
 }
 
 /// Poisson-arrival volumes: each slot draws `Poisson(rate)` jobs of size
@@ -25,11 +19,7 @@ pub fn with_gaussian_noise(trace: &Trace, sigma: f64, seed: u64) -> Trace {
 pub fn poisson(len: usize, rate: f64, job_size: f64, seed: u64) -> Trace {
     assert!(rate >= 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
-    Trace::new(
-        (0..len)
-            .map(|_| f64::from(poisson_draw(&mut rng, rate)) * job_size)
-            .collect(),
-    )
+    Trace::new((0..len).map(|_| f64::from(poisson_draw(&mut rng, rate)) * job_size).collect())
 }
 
 /// Two-state Markov-modulated process: a "calm" state with rate

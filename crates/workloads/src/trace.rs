@@ -14,10 +14,8 @@ impl Trace {
     /// Wrap raw values, clamping negatives to zero.
     #[must_use]
     pub fn new(values: Vec<f64>) -> Self {
-        let values = values
-            .into_iter()
-            .map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 })
-            .collect();
+        let values =
+            values.into_iter().map(|v| if v.is_finite() { v.max(0.0) } else { 0.0 }).collect();
         Self { values }
     }
 

@@ -35,10 +35,7 @@ fn main() {
     println!("fleet: 10,000 web + 2,000 gpu; T = {horizon} five-minute slots");
     println!("exact DP grid would be 10,001 × 2,001 ≈ 2·10⁷ cells per slot — skipped\n");
 
-    println!(
-        "{:>6} {:>8} {:>16} {:>14} {:>12}",
-        "ε", "γ", "grid cells/slot", "cost", "time"
-    );
+    println!("{:>6} {:>8} {:>16} {:>14} {:>12}", "ε", "γ", "grid cells/slot", "cost", "time");
     println!("{}", "-".repeat(60));
     let mut costs: Vec<(f64, f64)> = Vec::new();
     for eps in [2.0, 1.0, 0.5, 0.25, 0.1] {

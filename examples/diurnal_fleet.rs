@@ -41,7 +41,10 @@ fn main() {
         Box::new(ReactiveTimeout::with_ski_rental_timeouts(oracle, &instance)),
     ];
 
-    println!("{:<22} {:>10} {:>8} {:>10} {:>10}", "policy", "cost", "ratio", "operating", "switching");
+    println!(
+        "{:<22} {:>10} {:>8} {:>10} {:>10}",
+        "policy", "cost", "ratio", "operating", "switching"
+    );
     println!("{}", "-".repeat(64));
     println!(
         "{:<22} {:>10.1} {:>8.3} {:>10.1} {:>10.1}",
@@ -72,10 +75,6 @@ fn main() {
     println!("switching thrash, with a proven (2d+1) worst-case guarantee.");
 }
 
-fn rsz_core_operating(
-    instance: &Instance,
-    schedule: &Schedule,
-    oracle: &Dispatcher,
-) -> f64 {
+fn rsz_core_operating(instance: &Instance, schedule: &Schedule, oracle: &Dispatcher) -> f64 {
     heterogeneous_rightsizing::core::objective::operating_cost(instance, schedule, oracle)
 }

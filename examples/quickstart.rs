@@ -31,7 +31,11 @@ fn main() {
 
     // ---- (1+ε)-approximation (Section 4.2): γ-grid DP.
     let apx = offline::approximate(&instance, &oracle, 0.5, true);
-    println!("(1+0.5)-approx cost:      {:.3}  (guarantee ≤ {:.3})", apx.result.cost, apx.guarantee * opt.cost);
+    println!(
+        "(1+0.5)-approx cost:      {:.3}  (guarantee ≤ {:.3})",
+        apx.result.cost,
+        apx.guarantee * opt.cost
+    );
 
     // ---- Online Algorithm A (Section 2): (2d+1)-competitive.
     let mut algo = AlgorithmA::new(&instance, oracle, Default::default());

@@ -62,9 +62,7 @@ fn parse_fleet(spec: &str) -> Result<Vec<ServerType>, String> {
     let nums: Result<Vec<u32>, _> = params.split(',').map(str::parse).collect();
     let nums = nums.map_err(|e| format!("bad fleet parameters: {e}"))?;
     match (name, nums.as_slice()) {
-        ("homogeneous", [m]) => {
-            Ok(fleet::homogeneous(*m, 3.0, 1.0, CostModel::linear(0.5, 1.0)))
-        }
+        ("homogeneous", [m]) => Ok(fleet::homogeneous(*m, 3.0, 1.0, CostModel::linear(0.5, 1.0))),
         ("cpu-gpu", [c, g]) => Ok(fleet::cpu_gpu(*c, *g)),
         ("old-new", [o, n]) => Ok(fleet::old_new(*o, *n)),
         ("three-tier", [l, c, g]) => Ok(fleet::three_tier(*l, *c, *g)),
@@ -110,7 +108,10 @@ fn solve(args: &[String]) -> ExitCode {
         }
         None if algo_spec == "a" => {
             let mut a = AlgorithmA::new(&instance, oracle, Default::default());
-            ("Algorithm A (2d+1)-competitive".into(), online::run(&instance, &mut a, &oracle).schedule)
+            (
+                "Algorithm A (2d+1)-competitive".into(),
+                online::run(&instance, &mut a, &oracle).schedule,
+            )
         }
         None if algo_spec == "b" => {
             let mut b = AlgorithmB::new(&instance, oracle, Default::default());

@@ -1,0 +1,61 @@
+//! Smoke tests for the `rsz` binary: help text and a basic
+//! generate-then-solve round trip through real process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rsz() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rsz"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for args in [vec!["--help"], vec!["-h"], vec!["help"], vec![]] {
+        let out = rsz().args(&args).output().expect("spawn rsz");
+        assert!(out.status.success(), "rsz {args:?} exited with {:?}", out.status);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "missing usage in output of rsz {args:?}: {stderr}");
+        assert!(stderr.contains("rsz solve"), "usage must document the solve command");
+        assert!(stderr.contains("rsz generate"), "usage must document the generate command");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = rsz().arg("frobnicate").output().expect("spawn rsz");
+    assert!(!out.status.success(), "unknown command must not exit 0");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn generate_then_solve_round_trip() {
+    let dir = std::env::temp_dir().join(format!("rsz-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace: PathBuf = dir.join("trace.csv");
+    let schedule: PathBuf = dir.join("schedule.csv");
+
+    let gen = rsz()
+        .args(["generate", "--pattern", "diurnal", "--len", "24", "--peak", "6", "--seed", "7"])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn rsz generate");
+    assert!(gen.status.success(), "generate failed: {}", String::from_utf8_lossy(&gen.stderr));
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    let values =
+        trace_text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+    assert_eq!(values, 24, "trace must have one value per slot");
+
+    let solve = rsz()
+        .args(["solve", "--trace", trace.to_str().unwrap()])
+        .args(["--fleet", "cpu-gpu:6,2", "--algorithm", "a"])
+        .args(["--out", schedule.to_str().unwrap()])
+        .output()
+        .expect("spawn rsz solve");
+    assert!(solve.status.success(), "solve failed: {}", String::from_utf8_lossy(&solve.stderr));
+    let sched_text = std::fs::read_to_string(&schedule).expect("schedule written");
+    assert!(!sched_text.trim().is_empty(), "schedule file must not be empty");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

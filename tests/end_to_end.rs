@@ -101,11 +101,7 @@ fn bursty_scenario_baselines_never_beat_opt() {
     for algo in algos.iter_mut() {
         let outcome = run(&inst, algo.as_mut(), &oracle);
         outcome.schedule.check_feasible(&inst).unwrap();
-        assert!(
-            outcome.cost() + 1e-9 >= opt,
-            "{} beat the clairvoyant optimum",
-            outcome.name
-        );
+        assert!(outcome.cost() + 1e-9 >= opt, "{} beat the clairvoyant optimum", outcome.name);
     }
 }
 

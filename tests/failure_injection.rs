@@ -55,13 +55,7 @@ fn decreasing_custom_cost_rejected() {
         }
     }
     let err = Instance::builder()
-        .server_type(ServerType::new(
-            "a",
-            1,
-            1.0,
-            4.0,
-            CostModel::Custom(Arc::new(Decreasing)),
-        ))
+        .server_type(ServerType::new("a", 1, 1.0, 4.0, CostModel::Custom(Arc::new(Decreasing))))
         .loads(vec![1.0])
         .build();
     assert!(matches!(err, Err(InstanceError::NonConvexCost { .. })));
@@ -182,10 +176,7 @@ fn schedule_with_wrong_dimensions_rejected() {
         .build()
         .unwrap();
     let bad = Schedule::from_counts(vec![vec![1, 1], vec![1, 1]]); // d=2 vs 1
-    assert!(matches!(
-        bad.check_feasible(&inst),
-        Err(InstanceError::ScheduleShapeMismatch { .. })
-    ));
+    assert!(matches!(bad.check_feasible(&inst), Err(InstanceError::ScheduleShapeMismatch { .. })));
 }
 
 #[test]
