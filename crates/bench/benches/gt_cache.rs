@@ -1,0 +1,141 @@
+//! `gt_cache` — measures the `g_t` memoization layer end to end.
+//!
+//! Solves one time-independent diurnal instance (d = 2, m = (20, 20),
+//! T = 200 by default) with the offline DP twice — plain [`Dispatcher`]
+//! vs a fresh [`CachedDispatcher`] — and reports wall-clock speedup,
+//! cache hit rate and the cost agreement, both to stdout and as JSON
+//! into `results/gt_cache.json` (the BENCH record the CI smoke and the
+//! README's performance section quote).
+//!
+//! The trace tiles one exactly-repeating 24-slot diurnal period: the
+//! cache keys `g` on the *bits* of λ, and it is the exact recurrence of
+//! load levels — the defining feature of diurnal traffic — that turns
+//! `T × |grid|` dispatch solves into `period × |grid|`.
+//!
+//! Run with `--quick` (CI smoke) for a shortened horizon and a single
+//! timed iteration; the ≥ 3× speedup gate is only enforced on the full
+//! configuration, the correctness gates always.
+
+use std::time::Instant;
+
+use rsz_core::{CostModel, Instance, ServerType};
+use rsz_dispatch::{CachedDispatcher, Dispatcher};
+use rsz_offline::dp::{solve, DpOptions};
+use rsz_workloads::patterns;
+
+struct BenchConfig {
+    horizon: usize,
+    iterations: usize,
+    quick: bool,
+}
+
+fn diurnal_instance(horizon: usize) -> Instance {
+    // One exact day, tiled: λ values repeat bit-for-bit across days.
+    let day = patterns::diurnal(24, 3.0, 25.0, 24, 0.75);
+    let loads: Vec<f64> = day.values().iter().copied().cycle().take(horizon).collect();
+    Instance::builder()
+        .server_type(ServerType::new("cpu", 20, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+        .server_type(ServerType::new("gpu", 20, 4.0, 1.0, CostModel::power(1.0, 0.5, 2.0)))
+        .loads(loads)
+        .build()
+        .expect("bench instance is feasible")
+}
+
+fn time_solves<F: FnMut() -> f64>(iterations: usize, mut run: F) -> (f64, f64) {
+    let mut cost = f64::NAN;
+    let mut best = f64::INFINITY;
+    for _ in 0..iterations {
+        let start = Instant::now();
+        cost = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (cost, best)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // Quick keeps ≥ 6 tiled days so the >80% hit-rate gate stays
+    // meaningful (expected rate is 1 − 24/T).
+    let config = BenchConfig {
+        horizon: if quick { 144 } else { 200 },
+        iterations: if quick { 1 } else { 3 },
+        quick,
+    };
+
+    let inst = diurnal_instance(config.horizon);
+    let opts = DpOptions { parallel: false, ..Default::default() };
+    let plain = Dispatcher::new();
+
+    // Warm-up solve (page in code and allocator state), then timed runs.
+    let _ = solve(&inst, &plain, opts);
+    let (cost_off, secs_off) = time_solves(config.iterations, || solve(&inst, &plain, opts).cost);
+
+    // A fresh cache per iteration: the measured win is intra-solve reuse
+    // (slot-sharing across the tiled diurnal days), not a pre-warmed map.
+    let mut stats = None;
+    let (cost_on, secs_on) = time_solves(config.iterations, || {
+        let cache = CachedDispatcher::new(&inst);
+        let cost = solve(&inst, &cache, opts).cost;
+        stats = Some(cache.stats());
+        cost
+    });
+    let stats = stats.expect("at least one cached iteration");
+
+    let speedup = secs_off / secs_on;
+    let hit_rate = stats.hit_rate();
+    let cost_gap = (cost_off - cost_on).abs();
+
+    println!("bench: gt_cache/off      ... {:>10.3} ms (cost {cost_off:.6})", secs_off * 1e3);
+    println!("bench: gt_cache/on       ... {:>10.3} ms (cost {cost_on:.6})", secs_on * 1e3);
+    println!(
+        "bench: gt_cache/speedup  ... {speedup:>10.2}x (hit rate {:.1}%, {} hits / {} misses, {} entries)",
+        hit_rate * 100.0,
+        stats.hits,
+        stats.misses,
+        stats.entries
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"gt_cache\",\n  \"quick\": {},\n  \"instance\": {{ \"d\": 2, \"m\": [20, 20], \"horizon\": {} }},\n  \"cache_off_ms\": {:.3},\n  \"cache_on_ms\": {:.3},\n  \"speedup\": {:.3},\n  \"hits\": {},\n  \"misses\": {},\n  \"entries\": {},\n  \"hit_rate\": {:.4},\n  \"cost_off\": {:.9},\n  \"cost_on\": {:.9},\n  \"cost_gap\": {:.3e}\n}}\n",
+        config.quick,
+        config.horizon,
+        secs_off * 1e3,
+        secs_on * 1e3,
+        speedup,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        hit_rate,
+        cost_off,
+        cost_on,
+        cost_gap,
+    );
+    // `cargo bench` sets the cwd to crates/bench; resolve the workspace
+    // root so the JSON lands in the documented top-level results/.
+    let results_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root")
+        .join("results");
+    let out_path = results_dir.join("gt_cache.json");
+    if let Err(e) =
+        std::fs::create_dir_all(&results_dir).and_then(|()| std::fs::write(&out_path, &json))
+    {
+        eprintln!("warning: could not write {}: {e}", out_path.display());
+    } else {
+        println!("bench: gt_cache/json     ... {}", out_path.display());
+    }
+
+    // Correctness gates (always enforced).
+    assert!(
+        cost_gap <= 1e-9 * cost_off.abs().max(1.0),
+        "cached and uncached DP costs diverge: {cost_off} vs {cost_on}"
+    );
+    assert!(hit_rate > 0.8, "cache hit rate {:.1}% below the 80% gate", hit_rate * 100.0);
+    // Performance gate (full configuration only; CI smoke machines are
+    // too noisy to gate on wall-clock).
+    if !config.quick {
+        assert!(speedup >= 3.0, "cache speedup {speedup:.2}x below the 3x gate");
+    }
+}

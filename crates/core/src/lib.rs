@@ -39,7 +39,7 @@ pub use config::Config;
 pub use cost::{CostFunction, CostModel, CostRef, CostSpec};
 pub use error::InstanceError;
 pub use instance::{Instance, InstanceBuilder};
-pub use objective::{CostBreakdown, GtOracle};
+pub use objective::{CostBreakdown, GtOracle, SlotEval};
 pub use schedule::Schedule;
 pub use server::ServerType;
 
@@ -49,7 +49,7 @@ pub mod prelude {
     pub use crate::cost::{CostFunction, CostModel, CostRef, CostSpec};
     pub use crate::error::InstanceError;
     pub use crate::instance::{Instance, InstanceBuilder};
-    pub use crate::objective::{CostBreakdown, GtOracle};
+    pub use crate::objective::{CostBreakdown, GtOracle, SlotEval};
     pub use crate::schedule::Schedule;
     pub use crate::server::ServerType;
 }

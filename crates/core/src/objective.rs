@@ -35,6 +35,51 @@ pub trait GtOracle {
         lambda: f64,
         cost_scale: f64,
     ) -> f64;
+
+    /// Open a per-slot evaluation context for pricing **many**
+    /// configurations of the same `(t, λ, cost_scale)` slot — the DP's
+    /// inner loop. Implementations can hoist per-slot precomputation
+    /// (arm/cost views) out of the per-configuration path and solve into
+    /// reusable scratch buffers; each DP worker thread opens its own
+    /// context, so [`SlotEval`] needs no synchronization.
+    ///
+    /// Every [`SlotEval::eval`] must return exactly what
+    /// [`GtOracle::g_scaled`] would for the same arguments. The default
+    /// simply forwards to it.
+    fn slot_eval<'a>(
+        &'a self,
+        instance: &'a Instance,
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> Box<dyn SlotEval + 'a> {
+        Box::new(ForwardingSlotEval { oracle: self, instance, t, lambda, cost_scale })
+    }
+}
+
+/// A slot-scoped `g` evaluator created by [`GtOracle::slot_eval`]: prices
+/// one configuration after another for a fixed `(t, λ, cost_scale)`,
+/// possibly reusing internal scratch between calls (hence `&mut self`).
+pub trait SlotEval {
+    /// Operating cost of configuration `x` under this context's slot,
+    /// volume and cost scale — identical to the owning oracle's
+    /// [`GtOracle::g_scaled`] on the same inputs.
+    fn eval(&mut self, x: &[u32]) -> f64;
+}
+
+/// Default [`SlotEval`]: stateless forwarding to [`GtOracle::g_scaled`].
+struct ForwardingSlotEval<'a, O: ?Sized> {
+    oracle: &'a O,
+    instance: &'a Instance,
+    t: usize,
+    lambda: f64,
+    cost_scale: f64,
+}
+
+impl<O: GtOracle + ?Sized> SlotEval for ForwardingSlotEval<'_, O> {
+    fn eval(&mut self, x: &[u32]) -> f64 {
+        self.oracle.g_scaled(self.instance, self.t, x, self.lambda, self.cost_scale)
+    }
 }
 
 /// The cost of a schedule, split the way the paper's analysis splits it.
@@ -158,6 +203,17 @@ mod tests {
         let bd = evaluate(&inst, &x, &IdleOnly);
         assert!(approx_eq(op, bd.operating));
         assert!(approx_eq(sw, bd.switching));
+    }
+
+    #[test]
+    fn default_slot_eval_forwards_to_g_scaled() {
+        let inst = instance();
+        let mut view = IdleOnly.slot_eval(&inst, 1, 3.0, 0.5);
+        assert!(approx_eq(view.eval(&[2, 1]), IdleOnly.g_scaled(&inst, 1, &[2, 1], 3.0, 0.5)));
+        // And through a trait object, exercising the vtable path.
+        let dyn_oracle: &dyn GtOracle = &IdleOnly;
+        let mut view = dyn_oracle.slot_eval(&inst, 0, 1.0, 1.0);
+        assert!(approx_eq(view.eval(&[1, 0]), dyn_oracle.g(&inst, 0, &[1, 0])));
     }
 
     #[test]

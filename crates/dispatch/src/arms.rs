@@ -107,19 +107,61 @@ impl<'a> Arm<'a> {
 
 /// Build the arm list for configuration `x` at slot `t`. Types with zero
 /// active servers are skipped (they can carry no volume).
+///
+/// One-shot convenience over [`SlotArms`] — both go through the same
+/// construction path, so their outputs agree bit for bit by design.
 #[must_use]
 pub fn collect<'a>(instance: &'a Instance, t: usize, x: &[u32]) -> Vec<Arm<'a>> {
-    debug_assert_eq!(x.len(), instance.num_types());
-    x.iter()
-        .enumerate()
-        .filter(|&(_, &c)| c > 0)
-        .map(|(j, &c)| Arm {
-            type_index: j,
-            count: c,
-            zmax: instance.capacity(j),
-            cost: instance.cost(t, j),
-        })
-        .collect()
+    let mut arms = Vec::new();
+    SlotArms::new(instance, t).fill_into(x, &mut arms);
+    arms
+}
+
+/// Per-slot arm templates: the type data ([`Arm::zmax`] and the slot's
+/// cost view) shared by *every* configuration priced at slot `t`.
+///
+/// [`collect`] rebuilds this data and allocates a fresh `Vec` per
+/// configuration; a DP step prices thousands of configurations of the
+/// same slot, so hoist the templates out once and assemble each arm
+/// list into a reusable buffer with [`SlotArms::fill_into`].
+#[derive(Clone, Debug)]
+pub struct SlotArms<'a> {
+    /// One zero-count template per server type, in type order.
+    templates: Vec<Arm<'a>>,
+}
+
+impl<'a> SlotArms<'a> {
+    /// Capture slot `t`'s per-type capacity and cost views.
+    #[must_use]
+    pub fn new(instance: &'a Instance, t: usize) -> Self {
+        let templates = (0..instance.num_types())
+            .map(|j| Arm {
+                type_index: j,
+                count: 0,
+                zmax: instance.capacity(j),
+                cost: instance.cost(t, j),
+            })
+            .collect();
+        Self { templates }
+    }
+
+    /// Number of server types `d`.
+    #[must_use]
+    pub fn num_types(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Assemble the arm list for configuration `x` into `buf` (cleared
+    /// first) — exactly [`collect`]'s output, without the allocation.
+    pub fn fill_into(&self, x: &[u32], buf: &mut Vec<Arm<'a>>) {
+        debug_assert_eq!(x.len(), self.templates.len());
+        buf.clear();
+        for (tpl, &c) in self.templates.iter().zip(x) {
+            if c > 0 {
+                buf.push(Arm { count: c, ..*tpl });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +214,25 @@ mod tests {
         assert_eq!(a.volume_at_price(100.0, 1e-12, 100), 8.0);
         // zero below f'(0)=0 → exactly 0 at negative price
         assert_eq!(a.volume_at_price(-1.0, 1e-12, 100), 0.0);
+    }
+
+    #[test]
+    fn slot_arms_match_collect_for_every_config() {
+        let inst = instance();
+        let slot = SlotArms::new(&inst, 0);
+        assert_eq!(slot.num_types(), 2);
+        let mut buf = Vec::new();
+        for x in [[0u32, 0], [2, 0], [0, 1], [4, 2]] {
+            slot.fill_into(&x, &mut buf);
+            let fresh = collect(&inst, 0, &x);
+            assert_eq!(buf.len(), fresh.len(), "config {x:?}");
+            for (a, b) in buf.iter().zip(&fresh) {
+                assert_eq!(a.type_index, b.type_index);
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.zmax.to_bits(), b.zmax.to_bits());
+                assert_eq!(a.cost.scale().to_bits(), b.cost.scale().to_bits());
+            }
+        }
     }
 
     #[test]

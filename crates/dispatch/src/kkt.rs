@@ -20,6 +20,10 @@
 use crate::arms::Arm;
 use crate::solution::DispatchSolution;
 
+/// Doublings of the upper price before the bracket search gives up
+/// (`2^128 ≈ 3.4e38` exceeds any physically meaningful marginal cost).
+const MAX_BRACKET_DOUBLINGS: usize = 128;
+
 /// Solve the dispatch problem for arbitrary convex arms with
 /// `0 < lambda ≤ Σ cap_j`.
 #[must_use]
@@ -28,9 +32,16 @@ pub fn solve(arms: &[Arm<'_>], lambda: f64, tol: f64, max_iter: usize) -> Dispat
     let mut nu_lo = -1.0_f64;
     let mut nu_hi = 1.0_f64;
     {
-        // Grow nu_hi until all capacity is willing to run.
+        // Grow nu_hi until all of λ is willing to run. Pathologically
+        // steep costs (marginals overflowing past ~3.4e38) can exhaust
+        // the doublings; bisecting that *invalid* bracket would converge
+        // onto an under-allocated solution, so saturate by marginal cost
+        // instead of pretending the bracket holds.
         let mut guard = 0;
-        while total_volume(arms, nu_hi, tol, max_iter) < lambda && guard < 128 {
+        while total_volume(arms, nu_hi, tol, max_iter) < lambda {
+            if guard >= MAX_BRACKET_DOUBLINGS {
+                return saturation_fallback(arms, lambda, nu_hi, tol, max_iter);
+            }
             nu_hi *= 2.0;
             guard += 1;
         }
@@ -79,31 +90,90 @@ fn total_volume(arms: &[Arm<'_>], nu: f64, tol: f64, max_iter: usize) -> f64 {
     arms.iter().map(|a| a.volume_at_price(nu, tol, max_iter)).sum()
 }
 
-/// Push any residual `lambda − Σ y` (numerical leftovers) onto arms with
-/// spare capacity so the volume constraint holds to machine precision.
+/// No finite price brackets λ: some arm's marginal cost exceeds every
+/// representable price below its capacity. Keep each arm's best-effort
+/// volume at the highest price reached, then place the deficit by
+/// ascending marginal cost; if even full saturation falls short, report
+/// infeasibility instead of an under-allocated "solution".
+fn saturation_fallback(
+    arms: &[Arm<'_>],
+    lambda: f64,
+    nu_max: f64,
+    tol: f64,
+    max_iter: usize,
+) -> DispatchSolution {
+    let mut vols: Vec<f64> =
+        arms.iter().map(|a| a.volume_at_price(nu_max, tol, max_iter).clamp(0.0, a.cap())).collect();
+    distribute_residual(&mut vols, arms, lambda);
+    let placed: f64 = vols.iter().sum();
+    if placed < lambda - 1e-9 * lambda.max(1.0) {
+        return DispatchSolution::infeasible(arms.len());
+    }
+    let cost = vols.iter().zip(arms).map(|(&y, a)| a.phi(y)).sum();
+    DispatchSolution::new(cost, vols)
+}
+
+/// Chunks the residual distribution moves per marginal-cost re-check; a
+/// coarse water-fill, so tied-marginal arms share large residuals
+/// instead of the first one absorbing everything.
+const RESIDUAL_CHUNKS: f64 = 32.0;
+
+/// Push any residual `lambda − Σ y` (numerical leftovers, or the whole
+/// volume in the exhausted-bracket fallback) onto arms with spare
+/// capacity so the volume constraint holds to machine precision.
+///
+/// Volume moves in **marginal-cost order** — the cheapest `Φ'` absorbs
+/// first when adding, the most expensive gives back first when removing
+/// — so the correction lands where the KKT conditions say the next unit
+/// belongs, not on whichever arm happens to be declared first. Marginals
+/// are re-evaluated every [`RESIDUAL_CHUNKS`]-th of the residual, so
+/// strictly convex arms with (near-)tied marginals split large residuals
+/// instead of the first arm saturating at an arbitrarily worse price.
 fn distribute_residual(vols: &mut [f64], arms: &[Arm<'_>], lambda: f64) {
-    let mut residual = lambda - vols.iter().sum::<f64>();
-    if residual.abs() <= 1e-12 * lambda.max(1.0) {
+    let total = lambda - vols.iter().sum::<f64>();
+    if total.abs() <= 1e-12 * lambda.max(1.0) {
         return;
     }
+    // Tiny numerical residuals (the KKT hot path) move in one piece —
+    // marginals barely change over them; only macroscopic residuals
+    // (the bracket-exhaustion fallback) pay for the chunked water-fill.
+    let chunk = if total.abs() > 1e-6 * lambda.max(1.0) {
+        total.abs() / RESIDUAL_CHUNKS
+    } else {
+        total.abs()
+    };
+    // Arms whose remaining headroom is too small to advance `residual`
+    // at f64 precision are parked so the loop always terminates.
+    let mut parked = vec![false; arms.len()];
+    let mut residual = total;
     if residual > 0.0 {
-        for (v, a) in vols.iter_mut().zip(arms) {
-            let spare = a.cap() - *v;
-            let take = residual.min(spare);
-            *v += take;
-            residual -= take;
-            if residual <= 0.0 {
-                break;
+        while residual > 0.0 {
+            let next = (0..arms.len())
+                .filter(|&i| !parked[i] && arms[i].cap() - vols[i] > 0.0)
+                .min_by(|&a, &b| arms[a].phi_deriv(vols[a]).total_cmp(&arms[b].phi_deriv(vols[b])));
+            let Some(i) = next else { break };
+            let spare = arms[i].cap() - vols[i];
+            let take = residual.min(spare).min(chunk);
+            if take <= residual * 1e-15 {
+                parked[i] = true;
+                continue;
             }
+            vols[i] += take;
+            residual -= take;
         }
     } else {
-        for v in vols.iter_mut() {
-            let give = (-residual).min(*v);
-            *v -= give;
-            residual += give;
-            if residual >= 0.0 {
-                break;
+        while residual < 0.0 {
+            let next = (0..arms.len())
+                .filter(|&i| !parked[i] && vols[i] > 0.0)
+                .max_by(|&a, &b| arms[a].phi_deriv(vols[a]).total_cmp(&arms[b].phi_deriv(vols[b])));
+            let Some(i) = next else { break };
+            let give = (-residual).min(vols[i]).min(chunk);
+            if give <= -residual * 1e-15 {
+                parked[i] = true;
+                continue;
             }
+            vols[i] -= give;
+            residual += give;
         }
     }
 }
@@ -172,6 +242,185 @@ mod tests {
         assert!((total - 5.0).abs() < 1e-9, "{:?}", sol.volumes);
         // cost = idle 2 + slope-1 volume (5) = 7 exactly (both slopes 1)
         assert!((sol.cost - 7.0).abs() < 1e-6, "{}", sol.cost);
+    }
+
+    /// A convex cost whose derivative overflows every representable
+    /// price long before the capacity: `f(z) = coef·z^8` with `coef`
+    /// near `f64::MAX`. No `deriv_inv`, so pricing must bisect.
+    #[derive(Debug)]
+    struct SteepPower {
+        coef: f64,
+    }
+    impl rsz_core::CostFunction for SteepPower {
+        fn eval(&self, z: f64) -> f64 {
+            self.coef * z.powi(8)
+        }
+        fn deriv(&self, z: f64) -> f64 {
+            8.0 * self.coef * z.powi(7)
+        }
+    }
+
+    /// Steep *linear* custom cost: `f(z) = rate·z` with an astronomic
+    /// rate and no `deriv_inv`, so `Φ'(0)` already exceeds any bracket.
+    #[derive(Debug)]
+    struct SteepLinear {
+        rate: f64,
+    }
+    impl rsz_core::CostFunction for SteepLinear {
+        fn eval(&self, z: f64) -> f64 {
+            self.rate * z
+        }
+        fn deriv(&self, _z: f64) -> f64 {
+            self.rate
+        }
+    }
+
+    #[test]
+    fn exhausted_bracket_falls_back_to_saturation() {
+        // Regression: the 128-doubling price bracket tops out at 2^128,
+        // far below this cost's marginals; the solver used to bisect the
+        // invalid bracket and silently return an under-allocated
+        // solution. Now it saturates by marginal cost instead.
+        use std::sync::Arc;
+        let inst = Instance::builder()
+            .server_type(ServerType::new(
+                "steep",
+                1,
+                1.0,
+                1.0,
+                CostModel::Custom(Arc::new(SteepPower { coef: 1e300 })),
+            ))
+            .loads(vec![0.9])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[1]);
+        let sol = solve(&arms, 0.9, 1e-10, 200);
+        assert!(sol.is_feasible());
+        let total: f64 = sol.volumes.iter().sum();
+        assert!((total - 0.9).abs() < 1e-9, "under-allocated: {:?}", sol.volumes);
+        let expected = arms[0].phi(0.9);
+        assert!(
+            (sol.cost - expected).abs() <= 1e-9 * expected,
+            "cost {} vs forced-allocation cost {expected}",
+            sol.cost
+        );
+        // Demanding more than the capacity must come back infeasible,
+        // not as a quietly short allocation.
+        assert!(!solve(&arms, 1.5, 1e-10, 200).is_feasible());
+    }
+
+    #[test]
+    fn exhausted_bracket_residual_prefers_cheap_arm() {
+        // Two bracket-busting arms, the *expensive* one declared first.
+        // The old declaration-order residual push landed all volume on
+        // it; marginal-cost order must pick the 1e20× cheaper arm, in
+        // agreement with the brute-force oracle.
+        use std::sync::Arc;
+        let inst = Instance::builder()
+            .server_type(ServerType::new(
+                "pricey",
+                1,
+                1.0,
+                2.0,
+                CostModel::Custom(Arc::new(SteepLinear { rate: 1e300 })),
+            ))
+            .server_type(ServerType::new(
+                "cheap",
+                1,
+                1.0,
+                2.0,
+                CostModel::Custom(Arc::new(SteepLinear { rate: 1e280 })),
+            ))
+            .loads(vec![1.5])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[1, 1]);
+        let sol = solve(&arms, 1.5, 1e-10, 200);
+        assert!(sol.is_feasible());
+        let total: f64 = sol.volumes.iter().sum();
+        assert!((total - 1.5).abs() < 1e-9, "{:?}", sol.volumes);
+        assert!(sol.volumes[0] < 1e-9, "volume on the 1e20x pricier arm: {:?}", sol.volumes);
+        let oracle = crate::brute::solve(&arms, 1.5, 600);
+        assert!(
+            sol.cost <= oracle.cost * (1.0 + 1e-9),
+            "kkt {} worse than brute {}",
+            sol.cost,
+            oracle.cost
+        );
+    }
+
+    #[test]
+    fn exhausted_bracket_splits_tied_marginal_arms() {
+        // Two *identical* bracket-busting arms: a single greedy pass
+        // would park the whole volume on the first one (2^7 times the
+        // optimal cost); the chunked water-fill must split near-evenly.
+        use std::sync::Arc;
+        let inst = Instance::builder()
+            .server_type(ServerType::new(
+                "a",
+                1,
+                1.0,
+                1.0,
+                CostModel::Custom(Arc::new(SteepPower { coef: 1e300 })),
+            ))
+            .server_type(ServerType::new(
+                "b",
+                1,
+                1.0,
+                1.0,
+                CostModel::Custom(Arc::new(SteepPower { coef: 1e300 })),
+            ))
+            .loads(vec![1.0])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[1, 1]);
+        let sol = solve(&arms, 1.0, 1e-10, 200);
+        assert!(sol.is_feasible());
+        let total: f64 = sol.volumes.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{:?}", sol.volumes);
+        for &y in &sol.volumes {
+            assert!((y - 0.5).abs() <= 0.04, "lopsided split {:?}", sol.volumes);
+        }
+        let oracle = crate::brute::solve(&arms, 1.0, 600);
+        assert!(
+            sol.cost <= oracle.cost * 1.2,
+            "kkt {} far above brute {} (even split)",
+            sol.cost,
+            oracle.cost
+        );
+    }
+
+    #[test]
+    fn residual_distribution_follows_marginal_cost_order() {
+        // Direct regression on the residual pass: the pricier arm is
+        // declared first, so declaration order would mis-place volume.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("pricey", 1, 1.0, 2.0, CostModel::power(0.0, 5.0, 2.0)))
+            .server_type(ServerType::new("cheap", 1, 1.0, 2.0, CostModel::power(0.0, 1.0, 2.0)))
+            .loads(vec![1.0])
+            .build()
+            .unwrap();
+        let arms = collect(&inst, 0, &[1, 1]);
+        // Positive residual: both arms idle at equal volume, cheap arm
+        // has the lower marginal there → it takes the whole top-up.
+        let mut vols = vec![0.5, 0.5];
+        distribute_residual(&mut vols, &arms, 2.0);
+        assert!((vols[0] - 0.5).abs() < 1e-12, "{vols:?}");
+        assert!((vols[1] - 1.5).abs() < 1e-12, "{vols:?}");
+        // Negative residual: volume is given back by the *most*
+        // expensive marginal first.
+        let mut vols = vec![1.0, 1.0];
+        distribute_residual(&mut vols, &arms, 1.2);
+        assert!((vols[0] - 0.2).abs() < 1e-12, "{vols:?}");
+        assert!((vols[1] - 1.0).abs() < 1e-12, "{vols:?}");
+        // Cross-check the positive case against the dense oracle: with
+        // marginals 10y vs 2y the true optimum at λ=2 is y=(1/3, 5/3);
+        // the single greedy pass lands within the brute grid's accuracy
+        // of that but must never *beat* it by more than the grid gap.
+        let greedy_cost: f64 =
+            [0.5, 1.5].iter().zip(&arms).map(|(&y, a): (&f64, _)| a.phi(y)).sum();
+        let oracle = crate::brute::solve(&arms, 2.0, 2000);
+        assert!(oracle.cost <= greedy_cost + 1e-9);
     }
 
     #[test]

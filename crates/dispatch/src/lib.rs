@@ -32,20 +32,25 @@
 //!
 //! [`Dispatcher`] picks the right solver per call and implements
 //! [`rsz_core::GtOracle`], which is how the offline DP and the online
-//! algorithms price configurations.
+//! algorithms price configurations. [`CachedDispatcher`] wraps it with a
+//! memoization layer ([`cache`]) that shares `g(λ, x)` solves across
+//! slots, sub-slots and runs, and [`SlotDispatcher`] is the
+//! buffer-reusing per-slot context DP workers solve through.
 
 #![warn(missing_docs)]
 
 pub mod arms;
 pub mod brute;
+pub mod cache;
 pub mod greedy;
 pub mod kkt;
 pub mod solution;
 
-pub use arms::Arm;
+pub use arms::{Arm, SlotArms};
+pub use cache::{CacheStats, CachedDispatcher};
 pub use solution::DispatchSolution;
 
-use rsz_core::{GtOracle, Instance};
+use rsz_core::{GtOracle, Instance, SlotEval};
 
 /// Facade solver for `g_t(x)`: validates feasibility, picks the fastest
 /// applicable algorithm and returns costs/allocations.
@@ -113,6 +118,13 @@ impl Dispatcher {
         scale: f64,
     ) -> f64 {
         let arms = arms::collect(instance, t, x);
+        Self::value_of(self, &arms, lambda, scale)
+    }
+
+    /// Cost of a pre-assembled arm list — shared by [`Dispatcher::g_value`]
+    /// and the buffer-reusing [`SlotDispatcher`] so both produce
+    /// bit-identical results.
+    fn value_of(&self, arms: &[Arm<'_>], lambda: f64, scale: f64) -> f64 {
         if scale == 0.0 {
             // Zero-scaled slots cost nothing but must still be feasible.
             let total_cap: f64 = arms.iter().map(Arm::cap).sum();
@@ -120,7 +132,52 @@ impl Dispatcher {
         }
         // A uniform positive scale does not change the argmin, so solve the
         // unscaled problem and scale the optimum.
-        scale * self.solve_arms(&arms, lambda).cost
+        scale * self.solve_arms(arms, lambda).cost
+    }
+
+    /// Open a buffer-reusing evaluator for slot `t` of `instance`: the
+    /// slot's arm templates are captured once and every
+    /// [`SlotDispatcher::eval_config`] assembles its arm list into the
+    /// same scratch buffer (no per-configuration allocation).
+    #[must_use]
+    pub fn slot_dispatcher<'a>(
+        &self,
+        instance: &'a Instance,
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> SlotDispatcher<'a> {
+        let arms = SlotArms::new(instance, t);
+        let scratch = Vec::with_capacity(arms.num_types());
+        SlotDispatcher { dispatcher: *self, arms, lambda, cost_scale, scratch }
+    }
+}
+
+/// A [`Dispatcher`] scoped to one `(slot, λ, cost_scale)` triple: prices
+/// many configurations of the same slot through one reused arm buffer.
+/// Created by [`Dispatcher::slot_dispatcher`]; this is what DP workers
+/// hold per thread (it is deliberately not `Sync`).
+#[derive(Clone, Debug)]
+pub struct SlotDispatcher<'a> {
+    dispatcher: Dispatcher,
+    arms: SlotArms<'a>,
+    lambda: f64,
+    cost_scale: f64,
+    scratch: Vec<Arm<'a>>,
+}
+
+impl SlotDispatcher<'_> {
+    /// `g` of configuration `x` at this slot — bit-identical to
+    /// [`Dispatcher::g_value`] on the same inputs.
+    pub fn eval_config(&mut self, x: &[u32]) -> f64 {
+        self.arms.fill_into(x, &mut self.scratch);
+        self.dispatcher.value_of(&self.scratch, self.lambda, self.cost_scale)
+    }
+}
+
+impl SlotEval for SlotDispatcher<'_> {
+    fn eval(&mut self, x: &[u32]) -> f64 {
+        self.eval_config(x)
     }
 }
 
@@ -138,6 +195,16 @@ impl GtOracle for Dispatcher {
         cost_scale: f64,
     ) -> f64 {
         self.g_value(instance, t, x, lambda, cost_scale)
+    }
+
+    fn slot_eval<'a>(
+        &'a self,
+        instance: &'a Instance,
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> Box<dyn SlotEval + 'a> {
+        Box::new(self.slot_dispatcher(instance, t, lambda, cost_scale))
     }
 }
 
@@ -188,6 +255,20 @@ mod tests {
         // exactly 12 = 4·1 + 2·4
         let g = d.g(&inst, 2, &[4, 2]);
         assert!(g.is_finite());
+    }
+
+    #[test]
+    fn slot_dispatcher_matches_g_value_bitwise() {
+        let inst = instance();
+        let d = Dispatcher::new();
+        for (t, lambda, scale) in [(0, 0.0, 1.0), (1, 3.0, 1.0), (1, 3.0, 0.25), (2, 12.0, 0.0)] {
+            let mut slot = d.slot_dispatcher(&inst, t, lambda, scale);
+            for x in [[0u32, 0], [4, 0], [2, 1], [4, 2]] {
+                let fast = slot.eval_config(&x);
+                let slow = d.g_value(&inst, t, &x, lambda, scale);
+                assert_eq!(fast.to_bits(), slow.to_bits(), "t={t} λ={lambda} s={scale} x={x:?}");
+            }
+        }
     }
 
     #[test]

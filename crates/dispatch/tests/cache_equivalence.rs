@@ -1,0 +1,181 @@
+//! Property: [`CachedDispatcher`] is observationally identical — to the
+//! bit — to the [`Dispatcher`] it wraps, on time-independent and
+//! time-dependent instances alike, for plain, repeated, and scaled
+//! (Algorithm C sub-slot) queries.
+
+use proptest::prelude::*;
+use rsz_core::{CostModel, CostSpec, GtOracle, Instance, ServerType};
+use rsz_dispatch::{CachedDispatcher, Dispatcher};
+
+#[derive(Clone, Debug)]
+struct TypeSpec {
+    count: u32,
+    beta: f64,
+    zmax: f64,
+    model: CostModel,
+    /// Per-slot price factors; `None` = time-independent.
+    factors: Option<Vec<f64>>,
+}
+
+fn model_strategy() -> impl Strategy<Value = CostModel> {
+    prop_oneof![
+        (0.1..3.0_f64).prop_map(CostModel::constant),
+        (0.0..2.0_f64, 0.0..4.0_f64).prop_map(|(i, r)| CostModel::linear(i, r)),
+        (0.0..2.0_f64, 0.1..2.0_f64, 1.2..3.0_f64).prop_map(|(i, c, a)| CostModel::power(i, c, a)),
+        (0.0..2.0_f64, 0.0..2.0_f64, 0.1..1.5_f64)
+            .prop_map(|(i, a, b)| CostModel::quadratic(i, a, b)),
+    ]
+}
+
+fn type_strategy(horizon: usize) -> impl Strategy<Value = TypeSpec> {
+    (
+        1u32..4,
+        0.0..4.0_f64,
+        0.5..3.0_f64,
+        model_strategy(),
+        prop_oneof![
+            Just(None).boxed(),
+            prop::collection::vec(0.1..3.0_f64, horizon..=horizon).prop_map(Some).boxed(),
+        ],
+    )
+        .prop_map(|(count, beta, zmax, model, factors)| TypeSpec {
+            count,
+            beta,
+            zmax,
+            model,
+            factors,
+        })
+}
+
+fn build(specs: &[TypeSpec], load_fracs: &[f64]) -> Instance {
+    let types: Vec<ServerType> = specs
+        .iter()
+        .enumerate()
+        .map(|(j, s)| {
+            let spec = match &s.factors {
+                None => CostSpec::uniform(s.model.clone()),
+                Some(f) => CostSpec::scaled(s.model.clone(), f.clone()),
+            };
+            ServerType::with_spec(format!("t{j}"), s.count, s.beta, s.zmax, spec)
+        })
+        .collect();
+    let cap: f64 = types.iter().map(ServerType::fleet_capacity).sum();
+    let loads: Vec<f64> = load_fracs.iter().map(|f| f * cap).collect();
+    Instance::builder().server_types(types).loads(loads).build().expect("feasible by construction")
+}
+
+/// All configurations on the full grid of `inst` (small fleets only).
+fn all_configs(inst: &Instance) -> Vec<Vec<u32>> {
+    let mut out: Vec<Vec<u32>> = vec![vec![]];
+    for j in 0..inst.num_types() {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for c in 0..=inst.types()[j].count {
+                let mut p = prefix.clone();
+                p.push(c);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every `g` the cache answers — cold, warm, across slots — carries
+    /// exactly the bits the plain dispatcher produces.
+    #[test]
+    fn cache_is_bit_identical_to_dispatcher(
+        horizon in 2usize..5,
+        seed_specs in prop::collection::vec(type_strategy(4), 1..3),
+        load_fracs in prop::collection::vec(0.0..1.0_f64, 4..=4),
+    ) {
+        let inst = build(&seed_specs, &load_fracs[..horizon]);
+        let plain = Dispatcher::new();
+        let cached = CachedDispatcher::new(&inst);
+        prop_assert_eq!(cached.slots_shared(), inst.is_time_independent());
+        for round in 0..2 {
+            for t in 0..inst.horizon() {
+                for x in all_configs(&inst) {
+                    let a = plain.g(&inst, t, &x);
+                    let b = cached.g(&inst, t, &x);
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "round {} t={} x={:?}: plain {} vs cached {}", round, t, x, a, b
+                    );
+                }
+            }
+        }
+        // Warm rounds on a time-independent instance are pure hits.
+        if inst.is_time_independent() {
+            let stats = cached.stats();
+            prop_assert!(stats.hits >= stats.misses, "stats {:?}", stats);
+        }
+    }
+
+    /// Algorithm C's sub-slot queries: `g_scaled` with overridden volume
+    /// and `1/ñ` cost scales — cached and plain answers agree bitwise,
+    /// and re-scaling never triggers a re-solve.
+    #[test]
+    fn scaled_subslot_queries_are_bit_identical(
+        horizon in 2usize..5,
+        seed_specs in prop::collection::vec(type_strategy(4), 1..3),
+        load_fracs in prop::collection::vec(0.0..1.0_f64, 4..=4),
+        subslots in 1usize..5,
+        lambda_frac in 0.0..1.0_f64,
+    ) {
+        let inst = build(&seed_specs, &load_fracs[..horizon]);
+        let plain = Dispatcher::new();
+        let cached = CachedDispatcher::new(&inst);
+        let cap: f64 =
+            (0..inst.num_types()).map(|j| f64::from(inst.types()[j].count) * inst.capacity(j)).sum();
+        let lambda = lambda_frac * cap;
+        let scale = 1.0 / subslots as f64;
+        for t in 0..inst.horizon() {
+            for x in all_configs(&inst) {
+                let first = cached.g_scaled(&inst, t, &x, lambda, scale);
+                let solves = cached.stats().misses;
+                for _ in 1..subslots {
+                    let again = cached.g_scaled(&inst, t, &x, lambda, scale);
+                    prop_assert_eq!(first.to_bits(), again.to_bits());
+                }
+                prop_assert_eq!(cached.stats().misses, solves, "sub-slots must not re-solve");
+                let want = plain.g_scaled(&inst, t, &x, lambda, scale);
+                prop_assert_eq!(
+                    first.to_bits(), want.to_bits(),
+                    "t={} x={:?} λ={} scale={}", t, x, lambda, scale
+                );
+                // Zero scale (feasibility probe) agrees as well.
+                let z_cached = cached.g_scaled(&inst, t, &x, lambda, 0.0);
+                let z_plain = plain.g_scaled(&inst, t, &x, lambda, 0.0);
+                prop_assert_eq!(z_cached.to_bits(), z_plain.to_bits());
+            }
+        }
+    }
+
+    /// The worker-facing slot contexts answer with the same bits as the
+    /// oracle entry points, for both the plain and the cached dispatcher.
+    #[test]
+    fn slot_eval_contexts_are_bit_identical(
+        horizon in 2usize..4,
+        seed_specs in prop::collection::vec(type_strategy(3), 1..3),
+        load_fracs in prop::collection::vec(0.0..1.0_f64, 3..=3),
+        scale in 0.1..1.0_f64,
+    ) {
+        let inst = build(&seed_specs, &load_fracs[..horizon]);
+        let plain = Dispatcher::new();
+        let cached = CachedDispatcher::new(&inst);
+        for t in 0..inst.horizon() {
+            let lambda = inst.load(t);
+            let mut plain_view = plain.slot_eval(&inst, t, lambda, scale);
+            let mut cached_view = cached.slot_eval(&inst, t, lambda, scale);
+            for x in all_configs(&inst) {
+                let want = plain.g_scaled(&inst, t, &x, lambda, scale);
+                prop_assert_eq!(plain_view.eval(&x).to_bits(), want.to_bits());
+                prop_assert_eq!(cached_view.eval(&x).to_bits(), want.to_bits());
+            }
+        }
+    }
+}

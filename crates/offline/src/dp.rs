@@ -23,7 +23,7 @@
 use rsz_core::{Config, GtOracle, Instance, Schedule};
 
 use crate::grid::GridMode;
-use crate::parallel::fill_cells;
+use crate::parallel::fill_cells_with;
 use crate::table::Table;
 use crate::transform::arrival_transform;
 
@@ -129,11 +129,19 @@ pub fn dp_step_scaled(
     let levels: Vec<Vec<u32>> =
         (0..d).map(|j| options.grid.levels(instance.server_count(t, j))).collect();
     let mut cur = arrival_transform(prev, &levels, betas);
-    fill_cells(&mut cur, options.parallel, |_, counts, v| {
-        if v.is_finite() {
-            *v += oracle.g_scaled(instance, t, counts, lambda, cost_scale);
-        }
-    });
+    // Each worker opens its own slot context, letting the oracle hoist
+    // per-slot arm data out of the per-cell path and solve into reused
+    // scratch (and, for caching oracles, share solved cells globally).
+    fill_cells_with(
+        &mut cur,
+        options.parallel,
+        || oracle.slot_eval(instance, t, lambda, cost_scale),
+        |slot, _, counts, v| {
+            if v.is_finite() {
+                *v += slot.eval(counts);
+            }
+        },
+    );
     cur
 }
 
@@ -172,7 +180,10 @@ pub fn backtrack_window(instance: &Instance, tables: &[Table]) -> DpResult {
     for t in (0..tt - 1).rev() {
         let target = configs.last().expect("non-empty");
         let tab = &tables[t];
-        let mut best: Option<(f64, u64, usize)> = None;
+        // Predecessor selection shares `TieMin`'s epsilon tie-break with
+        // `Table::argmin`: one-ulp value wobbles (e.g. parallel vs
+        // sequential fills) must not flip the recovered schedule.
+        let mut tie = crate::table::TieMin::new();
         for (i, cfg) in tab.iter_configs() {
             let base = tab.values()[i];
             if !base.is_finite() {
@@ -183,18 +194,9 @@ pub fn backtrack_window(instance: &Instance, tables: &[Table]) -> DpResult {
                 v += f64::from(target.count(j).saturating_sub(cfg.count(j)))
                     * instance.switching_cost(j);
             }
-            let tot = cfg.total();
-            let better = match best {
-                None => true,
-                Some((bv, btot, bi)) => {
-                    v < bv || (v == bv && (tot < btot || (tot == btot && i < bi)))
-                }
-            };
-            if better {
-                best = Some((v, tot, i));
-            }
+            tie.offer(i, v, || cfg.total());
         }
-        let (_, _, idx) = best.expect("predecessor must exist");
+        let idx = tie.best_index().expect("predecessor must exist");
         configs.push(tab.config_of(idx));
     }
     configs.reverse();
@@ -320,6 +322,29 @@ mod tests {
         assert!(res.schedule.count(0, 0) <= 1);
         assert_eq!(res.schedule.count(1, 0), 3);
         assert!(res.schedule.count(2, 0) <= 2);
+    }
+
+    #[test]
+    fn backtrack_ties_are_epsilon_tolerant() {
+        // Regression: two predecessor candidates whose transition values
+        // differ by one ulp. Exact float equality treated them as
+        // distinct, so a last-bit wobble (parallel vs sequential fill)
+        // flipped the recovered schedule; the epsilon tie-break must pick
+        // the fewer-servers candidate deterministically.
+        let inst = Instance::builder()
+            .server_type(ServerType::new("a", 1, 1.0, 1.0, CostModel::constant(1.0)))
+            .loads(vec![0.0, 1.0])
+            .build()
+            .unwrap();
+        let mut t0 = Table::new(vec![vec![0, 1]], f64::INFINITY);
+        t0.values_mut()[0] = 1.0 + 1e-15; // off state, one ulp above the tie
+        t0.values_mut()[1] = 2.0; // on state: 2.0 exactly after +β transition below
+        let mut t1 = Table::new(vec![vec![0, 1]], f64::INFINITY);
+        t1.values_mut()[1] = 5.0;
+        let res = backtrack_window(&inst, &[t0, t1]);
+        // Candidates for t=0 towards x_1 = 1: off = 1.0+1e-15 + β = 2.0+ε,
+        // on = 2.0. Within the tie window the smaller total count wins.
+        assert_eq!(res.schedule, Schedule::from_counts(vec![vec![0], vec![1]]));
     }
 
     #[test]

@@ -19,17 +19,35 @@ pub fn fill_cells<F>(table: &mut Table, parallel: bool, f: F)
 where
     F: Fn(usize, &[u32], &mut f64) + Sync,
 {
+    fill_cells_with(table, parallel, || (), |(), idx, counts, v| f(idx, counts, v));
+}
+
+/// [`fill_cells`] with per-worker state: each chunk of cells calls
+/// `init()` once and threads the resulting value mutably through its
+/// cells. This is how DP workers hold slot-scoped dispatch contexts —
+/// per-slot precomputation plus scratch buffers — without any
+/// synchronization (the state never crosses threads).
+///
+/// `f` must compute a pure function of the index and counts — cells are
+/// processed in unspecified order across threads, and a worker's state
+/// must not change what `f` writes.
+pub fn fill_cells_with<S, I, F>(table: &mut Table, parallel: bool, init: I, f: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &[u32], &mut f64) + Sync,
+{
     let levels: Vec<Vec<u32>> = table.all_levels().to_vec();
     let sizes: Vec<usize> = levels.iter().map(Vec::len).collect();
     let total = table.len();
     let values = table.values_mut();
 
     let run_chunk = |offset: usize, chunk: &mut [f64]| {
+        let mut state = init();
         let mut odo = Odometer::at(&sizes, offset);
         let mut counts: Vec<u32> = odo.pos.iter().zip(&levels).map(|(&p, l)| l[p]).collect();
         let chunk_len = chunk.len();
         for (i, v) in chunk.iter_mut().enumerate() {
-            f(offset + i, &counts, v);
+            f(&mut state, offset + i, &counts, v);
             if i + 1 < chunk_len {
                 let j = odo.advance();
                 for jj in j..counts.len() {
@@ -116,6 +134,28 @@ mod tests {
     #[test]
     fn parallel_fill_matches_sequential() {
         check_fill(true);
+    }
+
+    #[test]
+    fn stateful_fill_reuses_worker_state_within_chunks() {
+        // Use the state as a per-worker call counter: every cell must see
+        // a state initialized by its own worker (≥ 1 after first use),
+        // and the fill must still visit every cell exactly once.
+        let mut t = Table::new(vec![(0u32..64).collect(), (0u32..64).collect()], 1.0);
+        fill_cells_with(
+            &mut t,
+            true,
+            || 0usize,
+            |calls, idx, counts, v| {
+                *calls += 1;
+                assert!(*calls >= 1);
+                *v = idx as f64 + f64::from(counts[0]) * 0.001;
+            },
+        );
+        for i in 0..t.len() {
+            let cfg = t.config_of(i);
+            assert_eq!(t.values()[i], i as f64 + f64::from(cfg.count(0)) * 0.001, "cell {i}");
+        }
     }
 
     #[test]

@@ -137,33 +137,20 @@ impl Table {
     /// Flat index of the cell with minimum value, breaking ties toward the
     /// configuration with the smallest total count, then lexicographically
     /// smallest counts. Returns `None` if every cell is infinite.
+    ///
+    /// Ties are decided by the crate-shared `TieMin` relative-epsilon
+    /// policy rather than exact float equality: cell values are sums of dispatch
+    /// solves whose last bits may differ between otherwise identical
+    /// runs, and the chosen cell seeds schedule recovery — exact
+    /// comparison would let a one-ulp wobble flip the recovered
+    /// schedule.
     #[must_use]
     pub fn argmin(&self) -> Option<usize> {
-        let mut best: Option<(usize, f64, u64)> = None;
+        let mut tie = TieMin::new();
         for (i, &v) in self.values.iter().enumerate() {
-            if !v.is_finite() {
-                continue;
-            }
-            let replace = match best {
-                None => true,
-                Some((bi, bv, btot)) => {
-                    if v < bv {
-                        true
-                    } else if v > bv {
-                        false
-                    } else {
-                        let tot = self.config_of(i).total();
-                        // lexicographic fallback is the index order itself
-                        tot < btot || (tot == btot && i < bi)
-                    }
-                }
-            };
-            if replace {
-                let tot = self.config_of(i).total();
-                best = Some((i, v, tot));
-            }
+            tie.offer(i, v, || self.config_of(i).total());
         }
-        best.map(|(i, _, _)| i)
+        tie.best_index()
     }
 
     /// Minimum value over all cells (`∞` when all infeasible).
@@ -175,6 +162,63 @@ impl Table {
     /// Iterate `(flat index, configuration)` pairs in layout order.
     pub fn iter_configs(&self) -> impl Iterator<Item = (usize, Config)> + '_ {
         (0..self.len()).map(move |i| (i, self.config_of(i)))
+    }
+}
+
+/// Epsilon-tolerant argmin accumulator — the single tie-break policy
+/// shared by [`Table::argmin`] and the DP's backtracking.
+///
+/// Candidates within a small *relative* epsilon of the running true
+/// minimum count as tied; ties resolve toward the smallest total server
+/// count, then the smallest index. Exact float comparison would let a
+/// one-ulp difference (e.g. parallel vs sequential fills) pick different
+/// winners for the same optimum, and anchoring the window on the true
+/// minimum — not the last accepted candidate — keeps chained near-ties
+/// from drifting beyond one epsilon.
+#[derive(Clone, Debug)]
+pub(crate) struct TieMin {
+    min_v: f64,
+    /// `(value, total count, index)` of the current winner.
+    best: Option<(f64, u64, usize)>,
+}
+
+impl TieMin {
+    /// Relative tolerance under which two candidate values count as tied.
+    const TIE_EPS: f64 = 1e-9;
+
+    pub(crate) fn new() -> Self {
+        Self { min_v: f64::INFINITY, best: None }
+    }
+
+    /// Offer candidate `i` with value `v`; `total` is queried only when
+    /// the candidate lands inside the tie window.
+    pub(crate) fn offer(&mut self, i: usize, v: f64, total: impl FnOnce() -> u64) {
+        if !v.is_finite() {
+            return;
+        }
+        if v < self.min_v {
+            self.min_v = v;
+        }
+        let eps = Self::TIE_EPS * self.min_v.abs().max(1.0);
+        match self.best {
+            None => self.best = Some((v, total(), i)),
+            Some((bv, btot, bi)) => {
+                if v > self.min_v + eps {
+                    return; // outside the tie window
+                }
+                let tot = total();
+                // Replace if the incumbent fell out of the lowered
+                // window, else by (total count, index) preference.
+                if bv > self.min_v + eps || tot < btot || (tot == btot && i < bi) {
+                    self.best = Some((v, tot, i));
+                }
+            }
+        }
+    }
+
+    /// Index of the winner (`None` if every candidate was non-finite).
+    pub(crate) fn best_index(&self) -> Option<usize> {
+        self.best.map(|(_, _, i)| i)
     }
 }
 

@@ -147,4 +147,20 @@ mod tests {
     fn rejects_zero_window() {
         let _ = RecedingHorizon::new(Dispatcher::new(), 0);
     }
+
+    #[test]
+    fn cached_oracle_matches_and_reuses_overlapping_windows() {
+        // Consecutive RHC windows overlap in w−1 slots; a shared g_t
+        // cache answers the re-solved slots without re-dispatching.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let cached = rsz_dispatch::CachedDispatcher::new(&inst);
+        for w in [2, 4] {
+            let plain_run = run(&inst, &mut RecedingHorizon::new(oracle, w), &oracle);
+            let cached_run = run(&inst, &mut RecedingHorizon::new(cached.clone(), w), &oracle);
+            assert_eq!(plain_run.schedule, cached_run.schedule, "w={w}");
+        }
+        let stats = cached.stats();
+        assert!(stats.hits > stats.misses, "window overlap should dominate: {stats:?}");
+    }
 }

@@ -110,7 +110,10 @@ macro_rules! prop_assert_ne {
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
-        if !($cond) {
+        // Bound to a bool first so clippy does not flag negated partial
+        // comparisons at the expansion site.
+        let __assumed: bool = $cond;
+        if !__assumed {
             return ::std::result::Result::Err("prop_assume rejected the case");
         }
     };
@@ -186,6 +189,7 @@ macro_rules! __proptest_case {
             let __config: $crate::ProptestConfig = $($cfg)*;
             let mut __rng = $crate::test_rng(stringify!($name));
             for __case in 0..__config.cases {
+                #[allow(clippy::redundant_closure_call)]
                 let __outcome: ::std::result::Result<(), &'static str> = (|| {
                     $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)*
                     { $body }

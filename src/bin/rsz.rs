@@ -41,12 +41,16 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--out FILE] [--chart]
+  rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--cache] [--out FILE] [--chart]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
 algorithms:  opt | approx:EPS | a | b | c:EPS
-patterns:    diurnal | constant | mmpp | spiky";
+patterns:    diurnal | constant | mmpp | spiky
+
+--cache memoizes the per-slot dispatch solves g(λ, x) across the run
+(shared across all slots when costs are time-independent) and reports
+the cache hit rate alongside the cost summary.";
 
 /// Pull `--name value` out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -100,26 +104,55 @@ fn solve(args: &[String]) -> ExitCode {
         eprintln!("warning: trace peak exceeds fleet capacity {cap}; loads were capped");
     }
 
-    let oracle = Dispatcher::new();
+    if has_flag(args, "--cache") {
+        let oracle = CachedDispatcher::new(&instance);
+        let code = solve_with(&instance, oracle.clone(), &algo_spec, args);
+        let s = oracle.stats();
+        if s.hits + s.misses > 0 {
+            println!(
+                "g_t cache:       {} hits / {} misses ({:.1}% hit rate, {} entries{})",
+                s.hits,
+                s.misses,
+                100.0 * s.hit_rate(),
+                s.entries,
+                if oracle.slots_shared() { ", slots shared" } else { ", per-slot" }
+            );
+        }
+        code
+    } else {
+        solve_with(&instance, Dispatcher::new(), &algo_spec, args)
+    }
+}
+
+/// Run the chosen algorithm and print the report; generic so the same
+/// path serves the plain and the memoizing dispatcher (whose clones all
+/// share one cache — the final pricing pass reuses the algorithm's own
+/// solves).
+fn solve_with<O: GtOracle + Sync + Clone>(
+    instance: &Instance,
+    oracle: O,
+    algo_spec: &str,
+    args: &[String],
+) -> ExitCode {
     let (name, schedule): (String, Schedule) = match algo_spec.split_once(':') {
         None if algo_spec == "opt" => {
-            let res = offline::solve(&instance, &oracle, DpOptions::default());
+            let res = offline::solve(instance, &oracle, DpOptions::default());
             ("offline optimal".into(), res.schedule)
         }
         None if algo_spec == "a" => {
-            let mut a = AlgorithmA::new(&instance, oracle, Default::default());
+            let mut a = AlgorithmA::new(instance, oracle.clone(), Default::default());
             (
                 "Algorithm A (2d+1)-competitive".into(),
-                online::run(&instance, &mut a, &oracle).schedule,
+                online::run(instance, &mut a, &oracle).schedule,
             )
         }
         None if algo_spec == "b" => {
-            let mut b = AlgorithmB::new(&instance, oracle, Default::default());
-            ("Algorithm B".into(), online::run(&instance, &mut b, &oracle).schedule)
+            let mut b = AlgorithmB::new(instance, oracle.clone(), Default::default());
+            ("Algorithm B".into(), online::run(instance, &mut b, &oracle).schedule)
         }
         Some(("approx", eps)) => match eps.parse::<f64>() {
             Ok(eps) if eps > 0.0 => {
-                let res = offline::approximate(&instance, &oracle, eps, true);
+                let res = offline::approximate(instance, &oracle, eps, true);
                 (format!("(1+{eps})-approximation"), res.result.schedule)
             }
             _ => return fail("approx:EPS needs a positive EPS"),
@@ -127,28 +160,28 @@ fn solve(args: &[String]) -> ExitCode {
         Some(("c", eps)) => match eps.parse::<f64>() {
             Ok(eps) if eps > 0.0 => {
                 let mut c = AlgorithmC::new(
-                    &instance,
-                    oracle,
+                    instance,
+                    oracle.clone(),
                     COptions { epsilon: eps, ..Default::default() },
                 );
-                (format!("Algorithm C(ε={eps})"), online::run(&instance, &mut c, &oracle).schedule)
+                (format!("Algorithm C(ε={eps})"), online::run(instance, &mut c, &oracle).schedule)
             }
             _ => return fail("c:EPS needs a positive EPS"),
         },
         _ => return fail(&format!("unknown algorithm `{algo_spec}`\n{USAGE}")),
     };
 
-    if let Err(e) = schedule.check_feasible(&instance) {
+    if let Err(e) = schedule.check_feasible(instance) {
         return fail(&format!("internal error: produced infeasible schedule: {e}"));
     }
-    let bd = heterogeneous_rightsizing::core::objective::evaluate(&instance, &schedule, &oracle);
+    let bd = heterogeneous_rightsizing::core::objective::evaluate(instance, &schedule, &oracle);
     println!("algorithm:       {name}");
     println!("slots:           {}", instance.horizon());
     println!("operating cost:  {:.3}", bd.operating);
     println!("switching cost:  {:.3}", bd.switching);
     println!("total cost:      {:.3}", bd.total());
     let stats =
-        heterogeneous_rightsizing::core::analysis::schedule_stats(&instance, &schedule, &oracle);
+        heterogeneous_rightsizing::core::analysis::schedule_stats(instance, &schedule, &oracle);
     println!("mean utilization {:.1}%", stats.mean_utilization * 100.0);
     for (j, ts) in stats.per_type.iter().enumerate() {
         println!(
@@ -161,7 +194,7 @@ fn solve(args: &[String]) -> ExitCode {
     }
 
     if has_flag(args, "--chart") {
-        println!("\n{}", render::schedule_chart(&instance, &schedule));
+        println!("\n{}", render::schedule_chart(instance, &schedule));
     }
     if let Some(out) = flag(args, "--out") {
         if let Err(e) = io::write_schedule(Path::new(&out), &schedule) {

@@ -57,5 +57,25 @@ fn generate_then_solve_round_trip() {
     let sched_text = std::fs::read_to_string(&schedule).expect("schedule written");
     assert!(!sched_text.trim().is_empty(), "schedule file must not be empty");
 
+    // --cache must report identical costs plus a cache summary line.
+    let cached = rsz()
+        .args(["solve", "--trace", trace.to_str().unwrap()])
+        .args(["--fleet", "cpu-gpu:6,2", "--algorithm", "a", "--cache"])
+        .output()
+        .expect("spawn rsz solve --cache");
+    assert!(
+        cached.status.success(),
+        "solve --cache failed: {}",
+        String::from_utf8_lossy(&cached.stderr)
+    );
+    let plain_out = String::from_utf8_lossy(&solve.stdout);
+    let cached_out = String::from_utf8_lossy(&cached.stdout);
+    let total_line = |s: &str| {
+        s.lines().find(|l| l.starts_with("total cost:")).map(str::to_owned).expect("total line")
+    };
+    assert_eq!(total_line(&plain_out), total_line(&cached_out), "--cache changed the cost");
+    assert!(cached_out.contains("g_t cache:"), "missing cache stats: {cached_out}");
+    assert!(cached_out.contains("hit rate"), "missing hit rate: {cached_out}");
+
     std::fs::remove_dir_all(&dir).ok();
 }

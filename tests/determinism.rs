@@ -42,6 +42,31 @@ fn offline_solver_is_deterministic() {
 }
 
 #[test]
+fn schedules_identical_across_parallelism_and_caching() {
+    // The recovered *schedule* — not just the cost — must be invariant
+    // under the fill strategy (sequential vs parallel) and under the g_t
+    // memoization layer, on a non-trivial dispatch workload (power costs
+    // force the KKT path). Backtracking breaks value ties with a relative
+    // epsilon precisely so last-bit wobbles cannot flip this.
+    let inst = scenario::diurnal_cpu_gpu(5, 2, 2, 12, 21);
+    let plain = Dispatcher::new();
+    let reference = solve(&inst, &plain, DpOptions { parallel: false, ..Default::default() });
+    for parallel in [false, true] {
+        let opts = DpOptions { parallel, ..Default::default() };
+        let uncached = solve(&inst, &plain, opts);
+        assert_eq!(reference.schedule, uncached.schedule, "parallel={parallel} uncached");
+        assert_eq!(reference.cost.to_bits(), uncached.cost.to_bits());
+        let cache = CachedDispatcher::new(&inst);
+        let cached = solve(&inst, &cache, opts);
+        assert_eq!(reference.schedule, cached.schedule, "parallel={parallel} cached");
+        assert_eq!(reference.cost.to_bits(), cached.cost.to_bits());
+        // A second solve over the now-warm cache stays identical too.
+        let warm = solve(&inst, &cache, opts);
+        assert_eq!(reference.schedule, warm.schedule, "parallel={parallel} warm cache");
+    }
+}
+
+#[test]
 fn online_algorithms_are_deterministic() {
     let inst = scenario::electricity_market(5, 24, 12, 13);
     let oracle = Dispatcher::new();
