@@ -37,7 +37,7 @@ fn bench_dp_step(c: &mut Criterion) {
             .unwrap();
         let oracle = Dispatcher::new();
         let b = betas(&inst);
-        let opts = DpOptions { grid: GridMode::Full, parallel };
+        let opts = DpOptions { grid: GridMode::Full, parallel, ..DpOptions::default() };
         let prev = Table::origin(1);
         let first = dp_step(&prev, &inst, &oracle, 0, &b, opts);
         group.bench_with_input(

@@ -55,7 +55,7 @@ fn bench_online(c: &mut Criterion) {
                 let mut a = AlgorithmA::new(
                     &ti,
                     oracle,
-                    AOptions { grid: GridMode::Gamma(1.5), parallel: false },
+                    AOptions { grid: GridMode::Gamma(1.5), parallel: false, ..AOptions::default() },
                 );
                 black_box(drive(&mut a, &ti))
             })

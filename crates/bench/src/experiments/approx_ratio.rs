@@ -46,7 +46,12 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
                 let oracle = Dispatcher::new();
                 let exact =
                     dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
-                let approx = approximate_with_mode(&inst, &oracle, GridMode::Gamma(gamma), false);
+                let approx = approximate_with_mode(
+                    &inst,
+                    &oracle,
+                    GridMode::Gamma(gamma),
+                    DpOptions { parallel: false, ..DpOptions::default() },
+                );
                 approx.result.schedule.check_feasible(&inst).expect("feasible");
                 let ratio = approx.result.cost / exact.cost;
                 assert!(ratio >= 1.0 - 1e-9, "approximation cannot beat the exact optimum");

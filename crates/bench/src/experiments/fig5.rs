@@ -48,8 +48,11 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
 
     let opt = dp_solve(&inst, &oracle, DpOptions { parallel: false, ..Default::default() });
     let witness = corridor_schedule(&inst, &opt.schedule, gamma);
-    let dp_gamma =
-        dp_solve(&inst, &oracle, DpOptions { grid: GridMode::Gamma(gamma), parallel: false });
+    let dp_gamma = dp_solve(
+        &inst,
+        &oracle,
+        DpOptions { grid: GridMode::Gamma(gamma), parallel: false, ..DpOptions::default() },
+    );
 
     let mut table = TextTable::new(["t", "x*_t (red)", "(2γ−1)·x* (blue)", "x'_t (green)"]);
     for (t, xstar) in opt.schedule.iter() {

@@ -55,6 +55,25 @@ pub trait GtOracle {
     ) -> Box<dyn SlotEval + 'a> {
         Box::new(ForwardingSlotEval { oracle: self, instance, t, lambda, cost_scale })
     }
+
+    /// Like [`GtOracle::slot_eval`], but the caller promises to price the
+    /// slot's configurations as a **sweep**: consecutive [`SlotEval::eval`]
+    /// calls walk the grid in layout order, each configuration a close
+    /// neighbour of the previous one. Implementations may exploit that
+    /// locality — e.g. warm-starting an iterative solver from the
+    /// previous cell's state — at the cost of a relaxed contract: values
+    /// may differ from [`GtOracle::g_scaled`] by up to a relative `1e-9`
+    /// (instead of bit-for-bit). The default ignores the promise and
+    /// forwards to [`GtOracle::slot_eval`].
+    fn slot_sweep<'a>(
+        &'a self,
+        instance: &'a Instance,
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> Box<dyn SlotEval + 'a> {
+        self.slot_eval(instance, t, lambda, cost_scale)
+    }
 }
 
 /// A slot-scoped `g` evaluator created by [`GtOracle::slot_eval`]: prices

@@ -253,6 +253,11 @@ impl GtOracle for CachedDispatcher {
         cost_scale * self.cached_g(instance, t, x, lambda)
     }
 
+    // `slot_sweep` deliberately keeps its default (= `slot_eval`): the
+    // cache's contract is bit-identity with the cold `Dispatcher`, and a
+    // warm-started miss would store a value that depends on which sweep
+    // first touched it. The cache's own reuse already collapses sweeps
+    // over repeated slots to hash lookups.
     fn slot_eval<'a>(
         &'a self,
         instance: &'a Instance,

@@ -24,28 +24,75 @@ use crate::solution::DispatchSolution;
 /// (`2^128 ≈ 3.4e38` exceeds any physically meaningful marginal cost).
 const MAX_BRACKET_DOUBLINGS: usize = 128;
 
+/// Geometric expansions [`solve_warm`] grants a stale hint before giving
+/// up and re-bracketing from scratch.
+const MAX_WARM_EXPANSIONS: usize = 4;
+
+/// A price bracket `[nu_lo, nu_hi]` around the optimal dispatch price,
+/// as left behind by a finished bisection. Carrying it to the *next*
+/// configuration of a row sweep lets [`solve_warm`] skip the cold
+/// 128-doubling bracket search and most bisection iterations: along a
+/// grid row the optimal price moves monotonically and only slightly, so
+/// the previous cell's bracket (slightly widened) almost always still
+/// contains the new root.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bracket {
+    /// Lower end: total willing volume at this price is below `λ`.
+    pub nu_lo: f64,
+    /// Upper end: total willing volume at this price covers `λ`.
+    pub nu_hi: f64,
+}
+
 /// Solve the dispatch problem for arbitrary convex arms with
 /// `0 < lambda ≤ Σ cap_j`.
 #[must_use]
 pub fn solve(arms: &[Arm<'_>], lambda: f64, tol: f64, max_iter: usize) -> DispatchSolution {
-    // Price bracket: at nu_lo no volume is placed, at nu_hi everything is.
-    let mut nu_lo = -1.0_f64;
-    let mut nu_hi = 1.0_f64;
-    {
-        // Grow nu_hi until all of λ is willing to run. Pathologically
-        // steep costs (marginals overflowing past ~3.4e38) can exhaust
-        // the doublings; bisecting that *invalid* bracket would converge
-        // onto an under-allocated solution, so saturate by marginal cost
-        // instead of pretending the bracket holds.
-        let mut guard = 0;
-        while total_volume(arms, nu_hi, tol, max_iter) < lambda {
-            if guard >= MAX_BRACKET_DOUBLINGS {
-                return saturation_fallback(arms, lambda, nu_hi, tol, max_iter);
+    solve_warm(arms, lambda, tol, max_iter, None).0
+}
+
+/// [`solve`] with an optional warm-start bracket from a neighbouring
+/// solve (see [`Bracket`]). Returns the solution together with the final
+/// bracket to seed the next cell of the sweep (`None` when the run fell
+/// back to the saturation path, which leaves no meaningful bracket).
+///
+/// With `hint: None` this is *exactly* [`solve`] — bit-identical. With a
+/// hint, the bisection starts from a different (much tighter) bracket,
+/// so the returned cost may differ from the cold solve in the last bits;
+/// both land within the bisection tolerance of the true optimum and
+/// agree to a relative `1e-9` for the default [`crate::Dispatcher`]
+/// tolerances — the parity bound the DP pipeline's tests enforce.
+#[must_use]
+pub fn solve_warm(
+    arms: &[Arm<'_>],
+    lambda: f64,
+    tol: f64,
+    max_iter: usize,
+    hint: Option<Bracket>,
+) -> (DispatchSolution, Option<Bracket>) {
+    let bracket = hint.and_then(|h| rebracket_from_hint(arms, lambda, h, tol, max_iter));
+    let (mut nu_lo, mut nu_hi) = match bracket {
+        Some(b) => b,
+        None => {
+            // Cold path. Price bracket: at nu_lo no volume is placed, at
+            // nu_hi everything is. Grow nu_hi until all of λ is willing
+            // to run. Pathologically steep costs (marginals overflowing
+            // past ~3.4e38) can exhaust the doublings; bisecting that
+            // *invalid* bracket would converge onto an under-allocated
+            // solution, so saturate by marginal cost instead of
+            // pretending the bracket holds.
+            let nu_lo = -1.0_f64;
+            let mut nu_hi = 1.0_f64;
+            let mut guard = 0;
+            while total_volume(arms, nu_hi, tol, max_iter) < lambda {
+                if guard >= MAX_BRACKET_DOUBLINGS {
+                    return (saturation_fallback(arms, lambda, nu_hi, tol, max_iter), None);
+                }
+                nu_hi *= 2.0;
+                guard += 1;
             }
-            nu_hi *= 2.0;
-            guard += 1;
+            (nu_lo, nu_hi)
         }
-    }
+    };
 
     for _ in 0..max_iter {
         let mid = 0.5 * (nu_lo + nu_hi);
@@ -58,7 +105,59 @@ pub fn solve(arms: &[Arm<'_>], lambda: f64, tol: f64, max_iter: usize) -> Dispat
             break;
         }
     }
+    (finish(arms, lambda, nu_lo, nu_hi, tol, max_iter), Some(Bracket { nu_lo, nu_hi }))
+}
 
+/// Validate a hinted bracket against the current arm set, padding it and
+/// expanding geometrically a few times if the root drifted just outside.
+/// Returns `None` when the hint is a genuine miss (row discontinuity,
+/// wildly different arms) — the caller then re-brackets cold.
+fn rebracket_from_hint(
+    arms: &[Arm<'_>],
+    lambda: f64,
+    hint: Bracket,
+    tol: f64,
+    max_iter: usize,
+) -> Option<(f64, f64)> {
+    let pad = (hint.nu_hi - hint.nu_lo).abs().max(tol * hint.nu_hi.abs().max(1.0));
+    let mut lo = hint.nu_lo - pad;
+    let mut hi = hint.nu_hi + pad;
+    if !(lo.is_finite() && hi.is_finite()) {
+        return None;
+    }
+    let mut expansions = 0;
+    // Establish volume(hi) ≥ λ > volume(lo); each failed check slides
+    // the bracket one doubled width in the offending direction.
+    while total_volume(arms, hi, tol, max_iter) < lambda {
+        expansions += 1;
+        if expansions > MAX_WARM_EXPANSIONS {
+            return None;
+        }
+        let width = hi - lo;
+        lo = hi;
+        hi += 2.0 * width;
+    }
+    while total_volume(arms, lo, tol, max_iter) >= lambda {
+        expansions += 1;
+        if expansions > MAX_WARM_EXPANSIONS {
+            return None;
+        }
+        let width = hi - lo;
+        hi = lo;
+        lo -= 2.0 * width;
+    }
+    Some((lo, hi))
+}
+
+/// Turn a converged price bracket into the final allocation and cost.
+fn finish(
+    arms: &[Arm<'_>],
+    lambda: f64,
+    nu_lo: f64,
+    nu_hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> DispatchSolution {
     // Allocations just below the critical price and at it.
     let y_hi: Vec<f64> = arms.iter().map(|a| a.volume_at_price(nu_hi, tol, max_iter)).collect();
     let y_lo: Vec<f64> = arms.iter().map(|a| a.volume_at_price(nu_lo, tol, max_iter)).collect();

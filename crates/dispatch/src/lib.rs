@@ -89,6 +89,22 @@ impl Dispatcher {
     /// Solve with explicit arms and volume — the low-level entry point.
     #[must_use]
     pub fn solve_arms(&self, arms: &[Arm<'_>], lambda: f64) -> DispatchSolution {
+        self.solve_arms_hinted(arms, lambda, &mut None)
+    }
+
+    /// [`Dispatcher::solve_arms`] threading an optional KKT warm-start
+    /// bracket (see [`kkt::solve_warm`]): the single preamble shared by
+    /// every dispatch entry point — feasibility slack, λ clamp,
+    /// idle-only and affine fast paths — so cold and warm callers cannot
+    /// drift apart. With `*hint == None` the computation is
+    /// bit-identical to the cold path; the hint is updated in place so
+    /// row sweeps can chain it cell to cell.
+    fn solve_arms_hinted(
+        &self,
+        arms: &[Arm<'_>],
+        lambda: f64,
+        hint: &mut Option<kkt::Bracket>,
+    ) -> DispatchSolution {
         debug_assert!(lambda >= 0.0);
         let total_cap: f64 = arms.iter().map(Arm::cap).sum();
         if lambda > total_cap * (1.0 + 1e-12) + 1e-12 {
@@ -103,7 +119,9 @@ impl Dispatcher {
         if arms.iter().all(Arm::is_affine) {
             greedy::solve(arms, lambda)
         } else {
-            kkt::solve(arms, lambda, self.tol, self.max_iter)
+            let (sol, bracket) = kkt::solve_warm(arms, lambda, self.tol, self.max_iter, *hint);
+            *hint = bracket;
+            sol
         }
     }
 
@@ -125,6 +143,18 @@ impl Dispatcher {
     /// and the buffer-reusing [`SlotDispatcher`] so both produce
     /// bit-identical results.
     fn value_of(&self, arms: &[Arm<'_>], lambda: f64, scale: f64) -> f64 {
+        self.value_of_warm(arms, lambda, scale, &mut None)
+    }
+
+    /// [`Dispatcher::value_of`] threading a warm-start bracket through
+    /// the KKT path via [`Dispatcher::solve_arms_hinted`].
+    fn value_of_warm(
+        &self,
+        arms: &[Arm<'_>],
+        lambda: f64,
+        scale: f64,
+        hint: &mut Option<kkt::Bracket>,
+    ) -> f64 {
         if scale == 0.0 {
             // Zero-scaled slots cost nothing but must still be feasible.
             let total_cap: f64 = arms.iter().map(Arm::cap).sum();
@@ -132,7 +162,7 @@ impl Dispatcher {
         }
         // A uniform positive scale does not change the argmin, so solve the
         // unscaled problem and scale the optimum.
-        scale * self.solve_arms(arms, lambda).cost
+        scale * self.solve_arms_hinted(arms, lambda, hint).cost
     }
 
     /// Open a buffer-reusing evaluator for slot `t` of `instance`: the
@@ -149,7 +179,33 @@ impl Dispatcher {
     ) -> SlotDispatcher<'a> {
         let arms = SlotArms::new(instance, t);
         let scratch = Vec::with_capacity(arms.num_types());
-        SlotDispatcher { dispatcher: *self, arms, lambda, cost_scale, scratch }
+        SlotDispatcher {
+            dispatcher: *self,
+            arms,
+            lambda,
+            cost_scale,
+            scratch,
+            warm: false,
+            hint: None,
+        }
+    }
+
+    /// A [`Dispatcher::slot_dispatcher`] in **sweep** mode: evaluations
+    /// are expected to walk the grid in layout order, and the KKT
+    /// bisection warm-starts each cell from the previous cell's final
+    /// price bracket (cold fallback on hint miss). Values agree with the
+    /// cold path to a relative `1e-9` (see [`kkt::solve_warm`]).
+    #[must_use]
+    pub fn sweep_dispatcher<'a>(
+        &self,
+        instance: &'a Instance,
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> SlotDispatcher<'a> {
+        let mut slot = self.slot_dispatcher(instance, t, lambda, cost_scale);
+        slot.warm = true;
+        slot
     }
 }
 
@@ -164,14 +220,28 @@ pub struct SlotDispatcher<'a> {
     lambda: f64,
     cost_scale: f64,
     scratch: Vec<Arm<'a>>,
+    /// Sweep mode: carry the previous cell's KKT bracket as a warm start.
+    warm: bool,
+    hint: Option<kkt::Bracket>,
 }
 
 impl SlotDispatcher<'_> {
     /// `g` of configuration `x` at this slot — bit-identical to
-    /// [`Dispatcher::g_value`] on the same inputs.
+    /// [`Dispatcher::g_value`] on the same inputs when constructed via
+    /// [`Dispatcher::slot_dispatcher`]; within a relative `1e-9` of it in
+    /// sweep mode ([`Dispatcher::sweep_dispatcher`]).
     pub fn eval_config(&mut self, x: &[u32]) -> f64 {
         self.arms.fill_into(x, &mut self.scratch);
-        self.dispatcher.value_of(&self.scratch, self.lambda, self.cost_scale)
+        if self.warm {
+            self.dispatcher.value_of_warm(
+                &self.scratch,
+                self.lambda,
+                self.cost_scale,
+                &mut self.hint,
+            )
+        } else {
+            self.dispatcher.value_of(&self.scratch, self.lambda, self.cost_scale)
+        }
     }
 }
 
@@ -205,6 +275,16 @@ impl GtOracle for Dispatcher {
         cost_scale: f64,
     ) -> Box<dyn SlotEval + 'a> {
         Box::new(self.slot_dispatcher(instance, t, lambda, cost_scale))
+    }
+
+    fn slot_sweep<'a>(
+        &'a self,
+        instance: &'a Instance,
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> Box<dyn SlotEval + 'a> {
+        Box::new(self.sweep_dispatcher(instance, t, lambda, cost_scale))
     }
 }
 

@@ -157,3 +157,111 @@ proptest! {
         prop_assert!(c_lo <= c_hi + 1e-6 * c_hi.abs().max(1.0), "{c_lo} > {c_hi}");
     }
 }
+
+/// Enumerate every configuration `0..=counts[j]` per type in row-major
+/// (last dimension fastest) layout order — the order DP fills and the
+/// pricing pipeline sweep.
+fn layout_order_configs(counts: &[u32]) -> Vec<Vec<u32>> {
+    let mut out = vec![vec![]];
+    for &m in counts {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for c in 0..=m {
+                let mut cfg = prefix.clone();
+                cfg.push(c);
+                next.push(cfg);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Warm-started KKT solves match the cold bisection within the
+    /// documented relative 1e-9 parity bound while carrying the bracket
+    /// across an ascending λ sweep (the row-sweep access pattern), on
+    /// random arm sets in random declaration order.
+    #[test]
+    fn warm_bracket_chain_matches_cold_on_lambda_sweeps(
+        specs in prop::collection::vec(arm_strategy(), 1..4),
+        steps in 4usize..12,
+    ) {
+        use rsz_dispatch::kkt;
+        let inst = build_instance(&specs);
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let arm_list = arms::collect(&inst, 0, &counts);
+        let cap: f64 = arm_list.iter().map(|a| a.cap()).sum();
+        let mut hint = None;
+        for s in 1..=steps {
+            let lambda = cap * s as f64 / (steps + 1) as f64;
+            let cold = kkt::solve(&arm_list, lambda, 1e-10, 200);
+            let (warm, bracket) = kkt::solve_warm(&arm_list, lambda, 1e-10, 200, hint);
+            hint = bracket;
+            prop_assert_eq!(cold.is_feasible(), warm.is_feasible());
+            prop_assert!(
+                (cold.cost - warm.cost).abs() <= 1e-9 * cold.cost.abs().max(1.0),
+                "λ={}: cold {} vs warm {}", lambda, cold.cost, warm.cost
+            );
+            let total: f64 = warm.volumes.iter().sum();
+            prop_assert!((total - lambda).abs() <= 1e-6 * lambda.max(1.0));
+        }
+    }
+
+    /// The sweep dispatcher (warm row sweeps, as used by the pricing
+    /// pipeline) agrees with the cold slot dispatcher on every grid cell
+    /// in layout order — including time-dependent per-slot cost scaling
+    /// and Algorithm C's scaled sub-slots.
+    #[test]
+    fn sweep_dispatcher_matches_cold_slot_dispatcher(
+        specs in prop::collection::vec(arm_strategy(), 1..3),
+        frac in 0.05..0.95_f64,
+        price in 0.25..3.0_f64,
+        scale_pick in 0usize..3,
+    ) {
+        use rsz_core::CostSpec;
+        // Two slots sharing the shape, slot 1 re-priced: time-dependent.
+        let types: Vec<ServerType> = specs
+            .iter()
+            .enumerate()
+            .map(|(j, s)| {
+                ServerType::with_spec(
+                    format!("t{j}"),
+                    s.count,
+                    1.0,
+                    s.zmax,
+                    CostSpec::scaled(s.model.clone(), vec![1.0, price]),
+                )
+            })
+            .collect();
+        let counts: Vec<u32> = specs.iter().map(|s| s.count).collect();
+        let inst = Instance::builder()
+            .server_types(types)
+            .loads(vec![0.0, 0.0])
+            .build()
+            .expect("valid sweep test instance");
+        let total_cap: f64 =
+            counts.iter().zip(&specs).map(|(&c, s)| f64::from(c) * s.zmax).sum();
+        let lambda = frac * total_cap;
+        // Algorithm C sub-slots scale costs by 1/ñ_t.
+        let cost_scale = [1.0, 0.5, 1.0 / 3.0][scale_pick];
+        let d = Dispatcher::new();
+        for t in 0..2 {
+            let mut sweep = d.sweep_dispatcher(&inst, t, lambda, cost_scale);
+            let mut cold = d.slot_dispatcher(&inst, t, lambda, cost_scale);
+            for cfg in layout_order_configs(&counts) {
+                let w = sweep.eval_config(&cfg);
+                let c = cold.eval_config(&cfg);
+                prop_assert_eq!(w.is_finite(), c.is_finite(), "t={} x={:?}", t, &cfg);
+                if c.is_finite() {
+                    prop_assert!(
+                        (w - c).abs() <= 1e-9 * c.abs().max(1.0),
+                        "t={} x={:?}: sweep {} vs cold {}", t, &cfg, w, c
+                    );
+                }
+            }
+        }
+    }
+}

@@ -35,8 +35,20 @@ pub fn approximate(
     epsilon: f64,
     parallel: bool,
 ) -> ApproxResult {
+    approximate_opts(instance, oracle, epsilon, DpOptions { parallel, ..DpOptions::default() })
+}
+
+/// [`approximate`] with full solver options (pipeline pricing, explicit
+/// thread counts); `options.grid` is overridden by the ε-derived γ-grid.
+#[must_use]
+pub fn approximate_opts(
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    epsilon: f64,
+    options: DpOptions,
+) -> ApproxResult {
     let grid = GridMode::for_epsilon(epsilon);
-    approximate_with_mode(instance, oracle, grid, parallel)
+    approximate_with_mode(instance, oracle, grid, options)
 }
 
 /// Approximate with an explicit grid mode (e.g. a direct `γ`).
@@ -45,7 +57,7 @@ pub fn approximate_with_mode(
     instance: &Instance,
     oracle: &(impl GtOracle + Sync),
     grid: GridMode,
-    parallel: bool,
+    options: DpOptions,
 ) -> ApproxResult {
     let gamma = match grid {
         GridMode::Full => 1.0,
@@ -53,7 +65,7 @@ pub fn approximate_with_mode(
     };
     let grid_cells =
         (0..instance.num_types()).map(|j| grid.levels(instance.server_count(0, j)).len()).product();
-    let result = solve(instance, oracle, DpOptions { grid, parallel });
+    let result = solve(instance, oracle, DpOptions { grid, ..options });
     ApproxResult { result, gamma, guarantee: grid.approximation_factor(), grid_cells }
 }
 

@@ -27,6 +27,11 @@ use crate::parallel::fill_cells_with;
 use crate::table::Table;
 use crate::transform::arrival_transform;
 
+/// Minimum table size (cells) before an unconstrained (`threads: None`)
+/// fill uses worker threads — spawn overhead would swamp the win on
+/// small grids. An explicit `threads` setting overrides this.
+pub const PAR_THRESHOLD: usize = 4096;
+
 /// Options for the offline DP.
 #[derive(Clone, Copy, Debug)]
 pub struct DpOptions {
@@ -34,11 +39,72 @@ pub struct DpOptions {
     pub grid: GridMode,
     /// Parallelize the per-cell dispatch solves across threads.
     pub parallel: bool,
+    /// Use the slot-batched pricing pipeline: `g_t` is priced for all
+    /// slots in one barrier-free pass (warm-started KKT row sweeps,
+    /// slot de-duplication for time-independent instances) before the
+    /// cheap sequential recurrence. Costs agree with the legacy per-slot
+    /// path to a relative `1e-9`, and the epsilon-tolerant tie-breaks
+    /// absorb that wobble so recovered schedules match the legacy
+    /// path's (property-tested and gated on every bench workload).
+    pub pipeline: bool,
+    /// Exact worker count for per-cell solves and the pricing pool.
+    /// `None` picks [`std::thread::available_parallelism`] for large
+    /// tables (honouring `parallel` and [`PAR_THRESHOLD`]); `Some(n)` is
+    /// used as-is, which makes thread sweeps reproducible in benches.
+    pub threads: Option<usize>,
+    /// How [`solve`] recovers the schedule: `√T` checkpoints + segment
+    /// replay (`O(|grid|·√T)` memory, up to one extra pricing pass) vs
+    /// fully materialized tables (`O(|grid|·T)` memory, single pass).
+    pub recovery: RecoveryMode,
+}
+
+/// Schedule-recovery policy of [`solve`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Materialize below [`crate::pipeline::CHECKPOINT_MIN_HORIZON`]
+    /// slots, checkpoint beyond — replay only kicks in where the
+    /// `O(|grid|·T)` table memory starts to matter.
+    #[default]
+    Auto,
+    /// Always keep every `OPT_t` table: one pass, maximum memory. The
+    /// pre-pipeline behaviour; pick it when the horizon fits in memory
+    /// and nothing (pricing pool, `CachedDispatcher`) would make the
+    /// replay cheap.
+    Materialized,
+    /// Always checkpoint, whatever the horizon.
+    Checkpointed,
 }
 
 impl Default for DpOptions {
     fn default() -> Self {
-        Self { grid: GridMode::Full, parallel: true }
+        Self {
+            grid: GridMode::Full,
+            parallel: true,
+            pipeline: false,
+            threads: None,
+            recovery: RecoveryMode::Auto,
+        }
+    }
+}
+
+impl DpOptions {
+    /// The default options with the slot-batched pipeline switched on.
+    #[must_use]
+    pub fn pipelined() -> Self {
+        Self { pipeline: true, ..Self::default() }
+    }
+
+    /// Resolve the worker count for a fill over `cells` table cells:
+    /// the explicit `threads` knob wins; otherwise `parallel` gates
+    /// [`std::thread::available_parallelism`] behind the
+    /// [`PAR_THRESHOLD`] small-table cutoff.
+    #[must_use]
+    pub fn effective_threads(&self, cells: usize) -> usize {
+        match self.threads {
+            Some(n) => n.max(1),
+            None if !self.parallel || cells < PAR_THRESHOLD => 1,
+            None => std::thread::available_parallelism().map_or(1, usize::from),
+        }
     }
 }
 
@@ -54,32 +120,45 @@ pub struct DpResult {
 /// Solve `instance` to optimality over the chosen grid and recover the
 /// schedule.
 ///
+/// Schedule recovery is **checkpointed** (Hirschberg-style): the forward
+/// pass keeps only `√T` checkpoint tables and backtracking replays one
+/// `√T`-slot segment at a time, so peak table memory is `O(|grid|·√T)`
+/// instead of `O(|grid|·T)` — see [`crate::pipeline`] and
+/// [`solve_with_stats`] for the observable accounting.
+///
 /// # Panics
 /// Panics if the instance is infeasible (cannot happen for instances
 /// built through [`Instance::builder`], which validates feasibility).
 #[must_use]
 pub fn solve(instance: &Instance, oracle: &(impl GtOracle + Sync), options: DpOptions) -> DpResult {
-    let tables = forward_tables(instance, oracle, options);
-    backtrack(instance, &tables)
+    crate::pipeline::solve_checkpointed(instance, oracle, options).0
 }
 
-/// Optimal cost only, O(|grid|) memory (no schedule recovery).
+/// [`solve`] returning the recovery memory accounting alongside the
+/// result (checkpoint count, segment length, peak live tables).
+#[must_use]
+pub fn solve_with_stats(
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    options: DpOptions,
+) -> (DpResult, crate::pipeline::RecoveryStats) {
+    crate::pipeline::solve_checkpointed(instance, oracle, options)
+}
+
+/// Optimal cost only, O(|grid|) memory for the legacy path and
+/// `O(|grid|·batch)` for the pipeline (no schedule recovery).
 #[must_use]
 pub fn solve_cost_only(
     instance: &Instance,
     oracle: &(impl GtOracle + Sync),
     options: DpOptions,
 ) -> f64 {
-    let d = instance.num_types();
-    let betas = betas(instance);
-    let mut prev = Table::origin(d);
-    for t in 0..instance.horizon() {
-        prev = dp_step(&prev, instance, oracle, t, &betas, options);
-    }
-    prev.min_value()
+    crate::pipeline::cost_only(instance, oracle, options)
 }
 
-/// All per-slot `OPT_t` tables (used for backtracking and by tests).
+/// All per-slot `OPT_t` tables, fully materialized — `O(|grid|·T)`
+/// memory. Kept for tests and cross-checks; [`solve`] itself recovers
+/// schedules from `√T` checkpoints instead.
 #[must_use]
 pub fn forward_tables(
     instance: &Instance,
@@ -132,10 +211,20 @@ pub fn dp_step_scaled(
     // Each worker opens its own slot context, letting the oracle hoist
     // per-slot arm data out of the per-cell path and solve into reused
     // scratch (and, for caching oracles, share solved cells globally).
+    // Pipeline mode prices through the oracle's *sweep* context — each
+    // worker's chunk is a contiguous layout-order run, so warm-started
+    // KKT solvers can chain brackets cell to cell.
+    let threads = options.effective_threads(cur.len());
     fill_cells_with(
         &mut cur,
-        options.parallel,
-        || oracle.slot_eval(instance, t, lambda, cost_scale),
+        threads,
+        || {
+            if options.pipeline {
+                oracle.slot_sweep(instance, t, lambda, cost_scale)
+            } else {
+                oracle.slot_eval(instance, t, lambda, cost_scale)
+            }
+        },
         |slot, _, counts, v| {
             if v.is_finite() {
                 *v += slot.eval(counts);
@@ -169,38 +258,80 @@ pub fn backtrack(instance: &Instance, tables: &[Table]) -> DpResult {
 /// costs (instance-global) matter here.
 #[must_use]
 pub fn backtrack_window(instance: &Instance, tables: &[Table]) -> DpResult {
+    let (cost, configs) = backtrack_segment(instance, tables, None);
+    DpResult {
+        cost: cost.expect("segment without successor reports the window optimum"),
+        schedule: Schedule::new(configs),
+    }
+}
+
+/// Backtrack through a contiguous run of `OPT` tables.
+///
+/// With `successor: None` the run is terminal: the end state is the
+/// cheapest cell of the last table and the returned cost is that
+/// optimum. With `successor: Some(x)` the run is an *interior* segment
+/// of a checkpointed recovery — `x` is the configuration already chosen
+/// for the slot right after the segment, and the last table's cell is
+/// selected to minimize `OPT(x') + Σ_j β_j (x_j − x'_j)^+` (cost is
+/// `None`: interior segments do not define one).
+///
+/// Returns the chosen configuration per slot of the segment, in slot
+/// order. Selection uses the crate-shared `TieMin` epsilon tie-break at
+/// every step, so splitting a window into segments recovers exactly the
+/// schedule the whole-window backtrack would.
+pub(crate) fn backtrack_segment(
+    instance: &Instance,
+    tables: &[Table],
+    successor: Option<&Config>,
+) -> (Option<f64>, Vec<Config>) {
     let tt = tables.len();
-    assert!(tt > 0, "window must be non-empty");
-    let last_idx = tables[tt - 1]
-        .argmin()
-        .expect("instance validated as feasible, so OPT_T has a finite cell");
-    let cost = tables[tt - 1].values()[last_idx];
+    assert!(tt > 0, "segment must be non-empty");
+    let d = instance.num_types();
     let mut configs: Vec<Config> = Vec::with_capacity(tt);
-    configs.push(tables[tt - 1].config_of(last_idx));
-    for t in (0..tt - 1).rev() {
-        let target = configs.last().expect("non-empty");
-        let tab = &tables[t];
-        // Predecessor selection shares `TieMin`'s epsilon tie-break with
-        // `Table::argmin`: one-ulp value wobbles (e.g. parallel vs
-        // sequential fills) must not flip the recovered schedule.
-        let mut tie = crate::table::TieMin::new();
-        for (i, cfg) in tab.iter_configs() {
-            let base = tab.values()[i];
-            if !base.is_finite() {
-                continue;
-            }
-            let mut v = base;
-            for j in 0..instance.num_types() {
-                v += f64::from(target.count(j).saturating_sub(cfg.count(j)))
-                    * instance.switching_cost(j);
-            }
-            tie.offer(i, v, || cfg.total());
+    let cost = match successor {
+        None => {
+            let last_idx = tables[tt - 1]
+                .argmin()
+                .expect("instance validated as feasible, so OPT_T has a finite cell");
+            configs.push(tables[tt - 1].config_of(last_idx));
+            Some(tables[tt - 1].values()[last_idx])
         }
-        let idx = tie.best_index().expect("predecessor must exist");
-        configs.push(tab.config_of(idx));
+        Some(target) => {
+            let idx = select_predecessor(instance, &tables[tt - 1], target, d);
+            configs.push(tables[tt - 1].config_of(idx));
+            None
+        }
+    };
+    for t in (0..tt - 1).rev() {
+        let target = configs.last().expect("non-empty").clone();
+        let idx = select_predecessor(instance, &tables[t], &target, d);
+        configs.push(tables[t].config_of(idx));
     }
     configs.reverse();
-    DpResult { cost, schedule: Schedule::new(configs) }
+    (cost, configs)
+}
+
+/// The cell of `tab` minimizing `OPT(x') + Σ_j β_j (target_j − x'_j)^+`.
+///
+/// Predecessor selection shares `TieMin`'s epsilon tie-break with
+/// [`Table::argmin`]: one-ulp value wobbles (e.g. parallel vs sequential
+/// fills) must not flip the recovered schedule. The scan walks a
+/// [`crate::table::GridCursor`] — no per-cell `Config` allocation.
+fn select_predecessor(instance: &Instance, tab: &Table, target: &Config, d: usize) -> usize {
+    let mut tie = crate::table::TieMin::new();
+    let mut cursor = tab.cursor(0);
+    for (i, &base) in tab.values().iter().enumerate() {
+        if base.is_finite() {
+            let counts = cursor.counts();
+            let mut v = base;
+            for (j, &c) in counts.iter().enumerate().take(d) {
+                v += f64::from(target.count(j).saturating_sub(c)) * instance.switching_cost(j);
+            }
+            tie.offer(i, v, || cursor.total());
+        }
+        cursor.advance();
+    }
+    tie.best_index().expect("predecessor must exist")
 }
 
 #[cfg(test)]
@@ -297,8 +428,11 @@ mod tests {
         let oracle = Dispatcher::new();
         let exact = solve(&inst, &oracle, DpOptions::default());
         let gamma = 1.5;
-        let approx =
-            solve(&inst, &oracle, DpOptions { grid: GridMode::Gamma(gamma), parallel: false });
+        let approx = solve(
+            &inst,
+            &oracle,
+            DpOptions { grid: GridMode::Gamma(gamma), parallel: false, ..DpOptions::default() },
+        );
         approx.schedule.check_feasible(&inst).unwrap();
         assert!(approx.cost + 1e-9 >= exact.cost, "approx can't beat exact");
         assert!(
@@ -356,8 +490,16 @@ mod tests {
             .build()
             .unwrap();
         let oracle = Dispatcher::new();
-        let seq = solve(&inst, &oracle, DpOptions { grid: GridMode::Full, parallel: false });
-        let par = solve(&inst, &oracle, DpOptions { grid: GridMode::Full, parallel: true });
+        let seq = solve(
+            &inst,
+            &oracle,
+            DpOptions { grid: GridMode::Full, parallel: false, ..DpOptions::default() },
+        );
+        let par = solve(
+            &inst,
+            &oracle,
+            DpOptions { grid: GridMode::Full, parallel: true, ..DpOptions::default() },
+        );
         assert!((seq.cost - par.cost).abs() < 1e-9);
     }
 }

@@ -79,7 +79,7 @@ pub fn solve(instance: &Instance, oracle: &(impl GtOracle + Sync), grid: GridMod
         relax_up(&mut up, instance);
         vertices += 2 * up.len();
         // Operating edges v↑ → v↓.
-        fill_cells(&mut up, false, |_, counts, v| {
+        fill_cells(&mut up, 1, |_, counts, v| {
             if v.is_finite() {
                 *v += oracle.g(instance, t, counts);
             }
@@ -194,7 +194,11 @@ mod tests {
         let oracle = Dispatcher::new();
         let mode = GridMode::Gamma(2.0);
         let g = solve(&inst, &oracle, mode);
-        let dp = dp_solve(&inst, &oracle, DpOptions { grid: mode, parallel: false });
+        let dp = dp_solve(
+            &inst,
+            &oracle,
+            DpOptions { grid: mode, parallel: false, ..DpOptions::default() },
+        );
         assert!((g.cost - dp.cost).abs() < 1e-9, "graph {} vs dp {}", g.cost, dp.cost);
     }
 

@@ -88,21 +88,29 @@ pub fn max_consecutive_ratio(levels: &[u32]) -> f64 {
 }
 
 /// The next greater level `N_j(x)` (paper notation), if any.
+///
+/// Level lists are strictly sorted, so all three neighbour lookups
+/// binary-search (`partition_point`) instead of scanning — they sit on
+/// the corridor-rounding and online hot paths where level lists can hold
+/// thousands of entries on full grids.
 #[must_use]
 pub fn next_level(levels: &[u32], x: u32) -> Option<u32> {
-    levels.iter().copied().find(|&v| v > x)
+    let i = levels.partition_point(|&v| v <= x);
+    levels.get(i).copied()
 }
 
 /// The smallest level ≥ `x` (the `xmin` of Eq. 18), if any.
 #[must_use]
 pub fn level_at_least(levels: &[u32], x: u32) -> Option<u32> {
-    levels.iter().copied().find(|&v| v >= x)
+    let i = levels.partition_point(|&v| v < x);
+    levels.get(i).copied()
 }
 
 /// The largest level ≤ `x` (the `xmax` of Eq. 18), if any.
 #[must_use]
 pub fn level_at_most(levels: &[u32], x: u32) -> Option<u32> {
-    levels.iter().rev().copied().find(|&v| v <= x)
+    let i = levels.partition_point(|&v| v <= x);
+    i.checked_sub(1).map(|i| levels[i])
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //! * [`rounding`] — the corridor witness `X'` from the proof of
 //!   Theorem 16 (Equation 18), used by experiments to exhibit the
 //!   constructive argument.
+//! * [`pipeline`] — the slot-batched pricing pipeline (barrier-free
+//!   `g_t` pricing with warm-started row sweeps and time-independent
+//!   slot de-duplication) plus `√T`-checkpointed schedule recovery; the
+//!   engine behind [`dp::solve`].
 //! * [`incremental`] — a rolling prefix-optimal solver, the substrate
 //!   that makes the online algorithms of Sections 2–3 efficient.
 //! * [`relax`] — the fractional relaxation via server subdivision, for
@@ -30,14 +34,16 @@ pub mod graph;
 pub mod grid;
 pub mod incremental;
 pub mod parallel;
+pub mod pipeline;
 pub mod relax;
 pub mod rounding;
 pub mod table;
 pub mod transform;
 
 pub use approx::{approximate, ApproxResult};
-pub use dp::{solve, solve_cost_only, DpOptions, DpResult};
+pub use dp::{solve, solve_cost_only, solve_with_stats, DpOptions, DpResult, RecoveryMode};
 pub use graph::{solve as solve_graph, GraphResult};
 pub use grid::GridMode;
 pub use incremental::PrefixDp;
+pub use pipeline::RecoveryStats;
 pub use table::Table;

@@ -2,24 +2,24 @@
 //!
 //! Evaluating `g_t(x)` for every configuration of a grid is embarrassingly
 //! parallel and dominates the DP's runtime (each evaluation runs a convex
-//! dispatch solve). Tables below [`PAR_THRESHOLD`] cells stay sequential —
-//! thread spawn overhead would swamp the win on small grids.
+//! dispatch solve). Worker counts are decided by the caller — in practice
+//! [`crate::dp::DpOptions::effective_threads`], which resolves the
+//! explicit `threads` knob, the `parallel` switch and the small-table
+//! cutoff in one place so benches can sweep thread counts reproducibly.
 
-use crate::table::Table;
-
-/// Minimum table size (cells) before threads are used.
-pub const PAR_THRESHOLD: usize = 4096;
+use crate::table::{GridCursor, Table};
 
 /// Apply `f(flat_index, counts, &mut value)` to every cell of `table`,
-/// in parallel when `parallel` is set and the table is large enough.
+/// using up to `threads` worker threads (`<= 1` runs inline on the
+/// calling thread).
 ///
 /// `f` must be a pure function of the index and counts — cells are
 /// processed in unspecified order across threads.
-pub fn fill_cells<F>(table: &mut Table, parallel: bool, f: F)
+pub fn fill_cells<F>(table: &mut Table, threads: usize, f: F)
 where
     F: Fn(usize, &[u32], &mut f64) + Sync,
 {
-    fill_cells_with(table, parallel, || (), |(), idx, counts, v| f(idx, counts, v));
+    fill_cells_with(table, threads, || (), |(), idx, counts, v| f(idx, counts, v));
 }
 
 /// [`fill_cells`] with per-worker state: each chunk of cells calls
@@ -28,37 +28,32 @@ where
 /// per-slot precomputation plus scratch buffers — without any
 /// synchronization (the state never crosses threads).
 ///
-/// `f` must compute a pure function of the index and counts — cells are
-/// processed in unspecified order across threads, and a worker's state
-/// must not change what `f` writes.
-pub fn fill_cells_with<S, I, F>(table: &mut Table, parallel: bool, init: I, f: F)
+/// `f` must compute a pure function of the index and counts up to the
+/// documented sweep tolerance — cells are processed in unspecified order
+/// across threads, and a worker's state must not change what `f` writes
+/// beyond that tolerance.
+pub fn fill_cells_with<S, I, F>(table: &mut Table, threads: usize, init: I, f: F)
 where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &[u32], &mut f64) + Sync,
 {
     let levels: Vec<Vec<u32>> = table.all_levels().to_vec();
-    let sizes: Vec<usize> = levels.iter().map(Vec::len).collect();
     let total = table.len();
     let values = table.values_mut();
 
     let run_chunk = |offset: usize, chunk: &mut [f64]| {
         let mut state = init();
-        let mut odo = Odometer::at(&sizes, offset);
-        let mut counts: Vec<u32> = odo.pos.iter().zip(&levels).map(|(&p, l)| l[p]).collect();
+        let mut cursor = GridCursor::new(&levels, offset);
         let chunk_len = chunk.len();
         for (i, v) in chunk.iter_mut().enumerate() {
-            f(&mut state, offset + i, &counts, v);
+            f(&mut state, offset + i, cursor.counts(), v);
             if i + 1 < chunk_len {
-                let j = odo.advance();
-                for jj in j..counts.len() {
-                    counts[jj] = levels[jj][odo.pos[jj]];
-                }
+                cursor.advance();
             }
         }
     };
 
-    let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    if !parallel || total < PAR_THRESHOLD || threads <= 1 {
+    if threads <= 1 || total < 2 {
         run_chunk(0, values);
         return;
     }
@@ -72,45 +67,13 @@ where
     });
 }
 
-/// Mixed-radix odometer over per-dimension sizes, last dimension fastest.
-struct Odometer {
-    sizes: Vec<usize>,
-    pos: Vec<usize>,
-}
-
-impl Odometer {
-    /// Odometer positioned at flat index `idx`.
-    fn at(sizes: &[usize], mut idx: usize) -> Self {
-        let d = sizes.len();
-        let mut pos = vec![0usize; d];
-        for j in (0..d).rev() {
-            pos[j] = idx % sizes[j];
-            idx /= sizes[j];
-        }
-        Self { sizes: sizes.to_vec(), pos }
-    }
-
-    /// Advance one cell; returns the first dimension index whose position
-    /// changed (for incremental count refresh).
-    fn advance(&mut self) -> usize {
-        for j in (0..self.pos.len()).rev() {
-            self.pos[j] += 1;
-            if self.pos[j] < self.sizes[j] {
-                return j;
-            }
-            self.pos[j] = 0;
-        }
-        0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn check_fill(parallel: bool) {
+    fn check_fill(threads: usize) {
         let mut t = Table::new(vec![vec![0u32, 2, 5], vec![1u32, 3], vec![0u32, 1, 2, 4]], 0.0);
-        fill_cells(&mut t, parallel, |idx, counts, v| {
+        fill_cells(&mut t, threads, |idx, counts, v| {
             *v = idx as f64 * 1000.0
                 + f64::from(counts[0]) * 100.0
                 + f64::from(counts[1]) * 10.0
@@ -128,12 +91,12 @@ mod tests {
 
     #[test]
     fn sequential_fill_visits_every_cell_with_correct_counts() {
-        check_fill(false);
+        check_fill(1);
     }
 
     #[test]
     fn parallel_fill_matches_sequential() {
-        check_fill(true);
+        check_fill(4);
     }
 
     #[test]
@@ -144,7 +107,7 @@ mod tests {
         let mut t = Table::new(vec![(0u32..64).collect(), (0u32..64).collect()], 1.0);
         fill_cells_with(
             &mut t,
-            true,
+            8,
             || 0usize,
             |calls, idx, counts, v| {
                 *calls += 1;
@@ -159,27 +122,28 @@ mod tests {
     }
 
     #[test]
-    fn odometer_at_matches_manual_decomposition() {
-        let sizes = vec![3usize, 2, 4];
+    fn cursor_at_offset_matches_manual_decomposition() {
+        let levels = vec![vec![0u32, 1, 2], vec![0u32, 1], vec![0u32, 1, 2, 3]];
         for idx in 0..24 {
-            let odo = Odometer::at(&sizes, idx);
+            let cursor = GridCursor::new(&levels, idx);
             let want = [(idx / 8) % 3, (idx / 4) % 2, idx % 4];
-            assert_eq!(odo.pos, want, "idx {idx}");
+            let counts: Vec<u32> = want.iter().zip(&levels).map(|(&p, l)| l[p]).collect();
+            assert_eq!(cursor.counts(), counts.as_slice(), "idx {idx}");
         }
     }
 
     #[test]
-    fn odometer_advance_walks_linearly() {
-        let sizes = vec![2usize, 3];
-        let mut odo = Odometer::at(&sizes, 0);
-        let mut seen = vec![odo.pos.clone()];
+    fn cursor_advance_walks_linearly() {
+        let levels = vec![vec![0u32, 1], vec![0u32, 5, 9]];
+        let mut cursor = GridCursor::new(&levels, 0);
+        let mut seen = vec![cursor.counts().to_vec()];
         for _ in 0..5 {
-            odo.advance();
-            seen.push(odo.pos.clone());
+            cursor.advance();
+            seen.push(cursor.counts().to_vec());
         }
         assert_eq!(
             seen,
-            vec![vec![0, 0], vec![0, 1], vec![0, 2], vec![1, 0], vec![1, 1], vec![1, 2]]
+            vec![vec![0, 0], vec![0, 5], vec![0, 9], vec![1, 0], vec![1, 5], vec![1, 9]]
         );
     }
 }

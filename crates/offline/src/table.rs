@@ -134,6 +134,20 @@ impl Table {
         self.index_of_config(x).map(|i| self.values[i])
     }
 
+    /// Total server count of the configuration at a flat index, computed
+    /// arithmetically — no intermediate `Vec` (hot inside `argmin` and
+    /// backtracking tie-breaks).
+    #[must_use]
+    pub fn total_count(&self, mut idx: usize) -> u64 {
+        let mut total = 0u64;
+        for (levels, &stride) in self.levels.iter().zip(&self.strides) {
+            let p = idx / stride;
+            idx %= stride;
+            total += u64::from(levels[p]);
+        }
+        total
+    }
+
     /// Flat index of the cell with minimum value, breaking ties toward the
     /// configuration with the smallest total count, then lexicographically
     /// smallest counts. Returns `None` if every cell is infinite.
@@ -148,7 +162,7 @@ impl Table {
     pub fn argmin(&self) -> Option<usize> {
         let mut tie = TieMin::new();
         for (i, &v) in self.values.iter().enumerate() {
-            tie.offer(i, v, || self.config_of(i).total());
+            tie.offer(i, v, || self.total_count(i));
         }
         tie.best_index()
     }
@@ -159,9 +173,83 @@ impl Table {
         self.values.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
+    /// A streaming counts cursor positioned at flat index `idx` — the
+    /// allocation-free way to visit cells in layout order.
+    #[must_use]
+    pub fn cursor(&self, idx: usize) -> GridCursor<'_> {
+        GridCursor::new(&self.levels, idx)
+    }
+
     /// Iterate `(flat index, configuration)` pairs in layout order.
+    ///
+    /// Advances a [`GridCursor`] instead of re-deriving positions per
+    /// index. The stateful cursor assumes front-to-back consumption,
+    /// which the opaque `impl Iterator` return type enforces — callers
+    /// cannot reach `next_back`/`.rev()` through it. Each yielded
+    /// [`Config`] owns its counts; truly hot loops should walk a
+    /// [`Table::cursor`] directly and borrow [`GridCursor::counts`].
     pub fn iter_configs(&self) -> impl Iterator<Item = (usize, Config)> + '_ {
-        (0..self.len()).map(move |i| (i, self.config_of(i)))
+        let mut cursor = self.cursor(0);
+        (0..self.len()).map(move |i| {
+            let cfg = Config::new(cursor.counts().to_vec());
+            cursor.advance();
+            (i, cfg)
+        })
+    }
+}
+
+/// Mixed-radix cursor over a grid's per-dimension levels, last dimension
+/// fastest — an odometer that exposes the current cell's server counts
+/// as a borrowed slice. Shared by the DP fill loops, the pricing
+/// pipeline and backtracking so none of them allocate per cell.
+#[derive(Clone, Debug)]
+pub struct GridCursor<'a> {
+    levels: &'a [Vec<u32>],
+    pos: Vec<usize>,
+    counts: Vec<u32>,
+}
+
+impl<'a> GridCursor<'a> {
+    /// Cursor positioned at flat index `idx` of the grid `levels` (levels
+    /// lists must be non-empty; `idx` may equal the grid size, in which
+    /// case the cursor wraps to the origin like [`GridCursor::advance`]).
+    #[must_use]
+    pub fn new(levels: &'a [Vec<u32>], mut idx: usize) -> Self {
+        let d = levels.len();
+        let mut pos = vec![0usize; d];
+        for j in (0..d).rev() {
+            let n = levels[j].len();
+            pos[j] = idx % n;
+            idx /= n;
+        }
+        let counts = pos.iter().zip(levels).map(|(&p, l)| l[p]).collect();
+        Self { levels, pos, counts }
+    }
+
+    /// Server counts of the current cell.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total server count of the current cell.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Step to the next cell in layout order (wrapping at the end),
+    /// updating only the dimensions whose position changed.
+    pub fn advance(&mut self) {
+        for j in (0..self.pos.len()).rev() {
+            self.pos[j] += 1;
+            if self.pos[j] < self.levels[j].len() {
+                self.counts[j] = self.levels[j][self.pos[j]];
+                return;
+            }
+            self.pos[j] = 0;
+            self.counts[j] = self.levels[j][0];
+        }
     }
 }
 

@@ -149,7 +149,7 @@ fn corridor_witness_bounds_hold_on_random_instances() {
             let gdp = solve_cost_only(
                 &inst,
                 &oracle,
-                DpOptions { grid: GridMode::Gamma(gamma), parallel: false },
+                DpOptions { grid: GridMode::Gamma(gamma), parallel: false, ..DpOptions::default() },
             );
             assert!(gdp <= wc + 1e-9);
         }

@@ -162,7 +162,7 @@ proptest! {
         let apx = solve_cost_only(
             &inst,
             &oracle,
-            DpOptions { grid: GridMode::Gamma(gamma), parallel: false },
+            DpOptions { grid: GridMode::Gamma(gamma), parallel: false, ..DpOptions::default() },
         );
         prop_assert!(apx + 1e-9 >= exact);
         prop_assert!(
@@ -278,5 +278,54 @@ proptest! {
             prop_assert!(c + 1e-9 >= prev, "prefix cost decreased: {c} < {prev}");
             prev = c;
         }
+    }
+}
+
+/// Acceptance gate for the checkpointed recovery: on a `T = 1024`
+/// instance the solver must never hold more than `O(√T)` tables alive —
+/// checkpoints plus one replayed segment (plus its pricing batch) —
+/// while still recovering exactly the schedule the fully materialized
+/// `O(T)`-table backtrack produces.
+#[test]
+fn recovery_memory_is_sqrt_t_on_long_horizons() {
+    use rsz_offline::dp::{backtrack, solve_with_stats};
+    let horizon = 1024;
+    // Time-dependent prices disable the time-independent pricing pool,
+    // so the accounting below is pure checkpoints + segment replay.
+    let prices: Vec<f64> = (0..horizon).map(|t| 0.8 + 0.05 * ((t % 11) as f64)).collect();
+    let inst = Instance::builder()
+        .server_type(ServerType::with_spec(
+            "a",
+            3,
+            2.0,
+            2.0,
+            CostSpec::scaled(CostModel::power(1.0, 0.5, 2.0), prices),
+        ))
+        .loads((0..horizon).map(|t| 1.0 + ((t * 5) % 6) as f64 * 0.8).collect::<Vec<f64>>())
+        .build()
+        .unwrap();
+    let oracle = Dispatcher::new();
+    for pipeline in [false, true] {
+        let opts = DpOptions { parallel: false, pipeline, ..Default::default() };
+        let (res, stats) = solve_with_stats(&inst, &oracle, opts);
+        assert_eq!(stats.horizon, horizon);
+        assert_eq!(stats.segment_len, 32, "⌈√1024⌉");
+        assert_eq!(stats.checkpoints, 32);
+        assert_eq!(stats.pooled_pricing_tables, 0, "time-dependent: no pool");
+        // Checkpoints (≤ √T) + one replayed segment (≤ √T OPT tables)
+        // + the segment's pricing batch (≤ √T, pipeline only) + rolling
+        // state — far below the T tables full materialization holds.
+        let bound = 3 * stats.segment_len + 8;
+        assert!(
+            stats.peak_live_tables <= bound,
+            "pipeline={pipeline}: peak {} tables exceeds O(√T) bound {}",
+            stats.peak_live_tables,
+            bound
+        );
+        assert!(stats.peak_live_tables < horizon / 4, "not meaningfully below O(T)");
+        // And the recovered schedule matches the O(T)-memory reference.
+        let full = backtrack(&inst, &forward_tables(&inst, &oracle, opts));
+        assert_eq!(full.schedule, res.schedule, "pipeline={pipeline}");
+        assert!((full.cost - res.cost).abs() <= 1e-9 * full.cost.abs().max(1.0));
     }
 }

@@ -36,11 +36,32 @@ pub struct AOptions {
     pub grid: GridMode,
     /// Parallelize the prefix DP's dispatch solves.
     pub parallel: bool,
+    /// Explicit worker count for the prefix DP's fills (`None` = derive
+    /// from `parallel`); see [`DpOptions::threads`].
+    pub threads: Option<usize>,
+    /// Price prefix-DP slots through the warm-started sweep path; see
+    /// [`DpOptions::pipeline`].
+    pub pipeline: bool,
 }
 
 impl Default for AOptions {
     fn default() -> Self {
-        Self { grid: GridMode::Full, parallel: false }
+        Self { grid: GridMode::Full, parallel: false, threads: None, pipeline: false }
+    }
+}
+
+impl AOptions {
+    /// The [`DpOptions`] these online options induce for the internal
+    /// prefix solver.
+    #[must_use]
+    pub fn dp_options(&self) -> DpOptions {
+        DpOptions {
+            grid: self.grid,
+            parallel: self.parallel,
+            pipeline: self.pipeline,
+            threads: self.threads,
+            ..DpOptions::default()
+        }
     }
 }
 
@@ -86,10 +107,7 @@ impl<O: GtOracle + Sync> AlgorithmA<O> {
             .collect();
         Self {
             oracle,
-            prefix: PrefixDp::new(
-                instance,
-                DpOptions { grid: options.grid, parallel: options.parallel },
-            ),
+            prefix: PrefixDp::new(instance, options.dp_options()),
             x: vec![0; d],
             w: Vec::new(),
             tbar,
@@ -253,7 +271,7 @@ mod tests {
         let mut a = AlgorithmA::new(
             &inst,
             oracle,
-            AOptions { grid: GridMode::Gamma(1.5), parallel: false },
+            AOptions { grid: GridMode::Gamma(1.5), parallel: false, ..AOptions::default() },
         );
         let run = run(&inst, &mut a, &oracle);
         run.schedule.check_feasible(&inst).unwrap();

@@ -16,7 +16,7 @@
 //! `(2d+1+c(I))`-competitive with `c(I) = Σ_j max_t l_{t,j}/β_j`.
 
 use rsz_core::{Config, GtOracle, Instance};
-use rsz_offline::{DpOptions, PrefixDp};
+use rsz_offline::PrefixDp;
 
 use crate::algo_a::AOptions;
 use crate::runner::OnlineAlgorithm;
@@ -50,10 +50,7 @@ impl BCore {
     pub fn new(instance: &Instance, options: AOptions) -> Self {
         let d = instance.num_types();
         Self {
-            prefix: PrefixDp::new(
-                instance,
-                DpOptions { grid: options.grid, parallel: options.parallel },
-            ),
+            prefix: PrefixDp::new(instance, options.dp_options()),
             x: vec![0; d],
             batches: vec![Vec::new(); d],
             power_ups: Vec::new(),

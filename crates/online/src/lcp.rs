@@ -34,7 +34,10 @@ impl<O: GtOracle + Sync> LazyCapacityProvisioning<O> {
         assert_eq!(instance.num_types(), 1, "LCP is defined for homogeneous data centers (d = 1)");
         Self {
             oracle,
-            prefix: PrefixDp::new(instance, DpOptions { grid: GridMode::Full, parallel: false }),
+            prefix: PrefixDp::new(
+                instance,
+                DpOptions { grid: GridMode::Full, parallel: false, ..DpOptions::default() },
+            ),
             x: 0,
         }
     }

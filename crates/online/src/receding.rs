@@ -27,8 +27,10 @@ pub struct RecedingHorizon<O> {
     oracle: O,
     /// Forecast window length `w ≥ 1` (1 = myopic with switching).
     pub window: usize,
-    /// Grid for the window DP.
-    pub grid: GridMode,
+    /// Options for the window DP (grid, pipeline pricing, threads). RHC
+    /// re-solves overlapping windows every slot, so the pipeline's
+    /// warm-started sweeps and a caching oracle both pay off here.
+    pub options: DpOptions,
     prev: Option<Config>,
 }
 
@@ -40,13 +42,22 @@ impl<O: GtOracle + Sync> RecedingHorizon<O> {
     #[must_use]
     pub fn new(oracle: O, window: usize) -> Self {
         assert!(window >= 1, "window must be at least one slot");
-        Self { oracle, window, grid: GridMode::Full, prev: None }
+        let options = DpOptions { parallel: false, ..DpOptions::default() };
+        Self { oracle, window, options, prev: None }
     }
 
     /// Use a γ-grid for the window DP (large fleets).
     #[must_use]
     pub fn with_grid(mut self, grid: GridMode) -> Self {
-        self.grid = grid;
+        self.options.grid = grid;
+        self
+    }
+
+    /// Override the window DP options wholesale (pipeline pricing,
+    /// explicit thread counts).
+    #[must_use]
+    pub fn with_options(mut self, options: DpOptions) -> Self {
+        self.options = options;
         self
     }
 }
@@ -60,7 +71,7 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
         let d = instance.num_types();
         let end = (t + self.window).min(instance.horizon());
         let b = betas(instance);
-        let opts = DpOptions { grid: self.grid, parallel: false };
+        let opts = self.options;
         // Start the window DP from a point mass at the current state: the
         // arrival transform prices power-ups relative to it for free.
         let start = self.prev.clone().unwrap_or_else(|| Config::zeros(d));

@@ -41,7 +41,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--cache] [--out FILE] [--chart]
+  rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--cache] [--pipeline]
+               [--threads N] [--out FILE] [--chart]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
@@ -50,7 +51,14 @@ patterns:    diurnal | constant | mmpp | spiky
 
 --cache memoizes the per-slot dispatch solves g(λ, x) across the run
 (shared across all slots when costs are time-independent) and reports
-the cache hit rate alongside the cost summary.";
+the cache hit rate alongside the cost summary.
+
+--pipeline prices g_t through the slot-batched pipeline (barrier-free
+slot-parallel pricing, warm-started KKT row sweeps, per-day slot reuse
+on repeating traces); costs agree with the legacy path to a relative
+1e-9, and epsilon-tolerant tie-breaks keep the recovered schedule
+matching the legacy path's (gated on every bench workload). --threads N
+pins the solver's worker count (default: all cores for large grids).";
 
 /// Pull `--name value` out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -104,9 +112,17 @@ fn solve(args: &[String]) -> ExitCode {
         eprintln!("warning: trace peak exceeds fleet capacity {cap}; loads were capped");
     }
 
+    let threads = match flag(args, "--threads").as_deref().map(str::parse::<usize>) {
+        None => None,
+        Some(Ok(n)) if n >= 1 => Some(n),
+        Some(_) => return fail("--threads N needs a positive integer"),
+    };
+    let dp_opts =
+        DpOptions { pipeline: has_flag(args, "--pipeline"), threads, ..DpOptions::default() };
+
     if has_flag(args, "--cache") {
         let oracle = CachedDispatcher::new(&instance);
-        let code = solve_with(&instance, oracle.clone(), &algo_spec, args);
+        let code = solve_with(&instance, oracle.clone(), &algo_spec, dp_opts, args);
         let s = oracle.stats();
         if s.hits + s.misses > 0 {
             println!(
@@ -120,7 +136,7 @@ fn solve(args: &[String]) -> ExitCode {
         }
         code
     } else {
-        solve_with(&instance, Dispatcher::new(), &algo_spec, args)
+        solve_with(&instance, Dispatcher::new(), &algo_spec, dp_opts, args)
     }
 }
 
@@ -132,27 +148,34 @@ fn solve_with<O: GtOracle + Sync + Clone>(
     instance: &Instance,
     oracle: O,
     algo_spec: &str,
+    dp_opts: DpOptions,
     args: &[String],
 ) -> ExitCode {
+    // Online algorithms run the same knobs through their prefix solver.
+    let online_opts = heterogeneous_rightsizing::online::algo_a::AOptions {
+        threads: dp_opts.threads,
+        pipeline: dp_opts.pipeline,
+        ..Default::default()
+    };
     let (name, schedule): (String, Schedule) = match algo_spec.split_once(':') {
         None if algo_spec == "opt" => {
-            let res = offline::solve(instance, &oracle, DpOptions::default());
+            let res = offline::solve(instance, &oracle, dp_opts);
             ("offline optimal".into(), res.schedule)
         }
         None if algo_spec == "a" => {
-            let mut a = AlgorithmA::new(instance, oracle.clone(), Default::default());
+            let mut a = AlgorithmA::new(instance, oracle.clone(), online_opts);
             (
                 "Algorithm A (2d+1)-competitive".into(),
                 online::run(instance, &mut a, &oracle).schedule,
             )
         }
         None if algo_spec == "b" => {
-            let mut b = AlgorithmB::new(instance, oracle.clone(), Default::default());
+            let mut b = AlgorithmB::new(instance, oracle.clone(), online_opts);
             ("Algorithm B".into(), online::run(instance, &mut b, &oracle).schedule)
         }
         Some(("approx", eps)) => match eps.parse::<f64>() {
             Ok(eps) if eps > 0.0 => {
-                let res = offline::approximate(instance, &oracle, eps, true);
+                let res = offline::approx::approximate_opts(instance, &oracle, eps, dp_opts);
                 (format!("(1+{eps})-approximation"), res.result.schedule)
             }
             _ => return fail("approx:EPS needs a positive EPS"),
@@ -162,7 +185,7 @@ fn solve_with<O: GtOracle + Sync + Clone>(
                 let mut c = AlgorithmC::new(
                     instance,
                     oracle.clone(),
-                    COptions { epsilon: eps, ..Default::default() },
+                    COptions { epsilon: eps, base: online_opts, ..Default::default() },
                 );
                 (format!("Algorithm C(ε={eps})"), online::run(instance, &mut c, &oracle).schedule)
             }

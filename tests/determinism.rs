@@ -67,6 +67,46 @@ fn schedules_identical_across_parallelism_and_caching() {
 }
 
 #[test]
+fn schedules_identical_across_pipeline_parallelism_and_caching() {
+    // The full mode matrix {pipeline on/off} × {parallel on/off} ×
+    // {cache on/off} must recover the SAME schedule. Costs are
+    // bit-identical within the cold modes and within a relative 1e-9 of
+    // the reference when the pipeline's warm-started KKT sweeps are on
+    // (the documented sweep parity bound).
+    let inst = scenario::diurnal_cpu_gpu(5, 2, 2, 12, 21);
+    let plain = Dispatcher::new();
+    let reference = solve(&inst, &plain, DpOptions { parallel: false, ..Default::default() });
+    for pipeline in [false, true] {
+        for parallel in [false, true] {
+            let opts = DpOptions { pipeline, parallel, ..Default::default() };
+            let uncached = solve(&inst, &plain, opts);
+            assert_eq!(
+                reference.schedule, uncached.schedule,
+                "pipeline={pipeline} parallel={parallel} uncached"
+            );
+            assert!(
+                (reference.cost - uncached.cost).abs() <= 1e-9 * reference.cost.abs().max(1.0),
+                "pipeline={pipeline} parallel={parallel}: {} vs {}",
+                reference.cost,
+                uncached.cost
+            );
+            let cache = CachedDispatcher::new(&inst);
+            let cached = solve(&inst, &cache, opts);
+            assert_eq!(
+                reference.schedule, cached.schedule,
+                "pipeline={pipeline} parallel={parallel} cached"
+            );
+            assert!(
+                (reference.cost - cached.cost).abs() <= 1e-9 * reference.cost.abs().max(1.0),
+                "pipeline={pipeline} parallel={parallel} cached: {} vs {}",
+                reference.cost,
+                cached.cost
+            );
+        }
+    }
+}
+
+#[test]
 fn online_algorithms_are_deterministic() {
     let inst = scenario::electricity_market(5, 24, 12, 13);
     let oracle = Dispatcher::new();

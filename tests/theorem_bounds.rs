@@ -192,7 +192,10 @@ fn approximation_exact_when_grid_covers_everything() {
         .unwrap();
     let oracle = Dispatcher::new();
     let exact = solve_cost_only(&inst, &oracle, DpOptions::default());
-    let apx =
-        solve_cost_only(&inst, &oracle, DpOptions { grid: GridMode::Gamma(1.9), parallel: false });
+    let apx = solve_cost_only(
+        &inst,
+        &oracle,
+        DpOptions { grid: GridMode::Gamma(1.9), parallel: false, ..DpOptions::default() },
+    );
     assert!((exact - apx).abs() < 1e-12, "M^γ ⊇ {{0,1,2}} = M here");
 }
