@@ -35,12 +35,17 @@ pub fn run(cfg: &ExperimentConfig) -> Report {
         .build()
         .expect("probe instance is feasible");
     let oracle = Dispatcher::new();
-    let mut algo = AlgorithmA::new(&inst, oracle, AOptions::default());
+    // The block decomposition needs the whole power-up history, which
+    // Algorithm A only retains on request (the controller itself keeps a
+    // ring of `max t̄` rows).
+    let mut algo =
+        AlgorithmA::new(&inst, oracle, AOptions { keep_power_up_log: true, ..AOptions::default() });
     let outcome = run_online(&inst, &mut algo, &oracle);
     outcome.schedule.check_feasible(&inst).expect("Lemma 1");
 
     let tbar = algo.runtime(0).expect("positive idle cost");
-    let w: Vec<u32> = algo.power_up_log().iter().map(|row| row[0]).collect();
+    let w: Vec<u32> =
+        algo.power_up_log().expect("full log opted in").iter().map(|row| row[0]).collect();
     let dec = decompose(&w, tbar);
 
     report.kv("horizon", horizon);

@@ -52,6 +52,17 @@ pub struct DpOptions {
     /// tables (honouring `parallel` and [`PAR_THRESHOLD`]); `Some(n)` is
     /// used as-is, which makes thread sweeps reproducible in benches.
     pub threads: Option<usize>,
+    /// Use the online decision engine for incremental stepping: prefix
+    /// solvers ([`crate::PrefixDp`], and the receding-horizon window DP
+    /// built on the same pool) price each slot **once** as a dense
+    /// [`crate::engine::PricedSlot`] via the warm-started sweep path and
+    /// retain it in a bounded `(slot partition, λ, grid)` pool, so
+    /// recurring loads and Algorithm C's sub-slot replays fold priced
+    /// slots in with a vectorized add instead of per-cell oracle calls.
+    /// Priced values match the per-cell path to a relative `1e-9` (the
+    /// documented sweep tolerance) and recovered decisions are identical
+    /// (property-tested across algorithms, grids and caching modes).
+    pub engine: bool,
     /// How [`solve`] recovers the schedule: `√T` checkpoints + segment
     /// replay (`O(|grid|·√T)` memory, up to one extra pricing pass) vs
     /// fully materialized tables (`O(|grid|·T)` memory, single pass).
@@ -82,6 +93,7 @@ impl Default for DpOptions {
             parallel: true,
             pipeline: false,
             threads: None,
+            engine: false,
             recovery: RecoveryMode::Auto,
         }
     }
@@ -92,6 +104,12 @@ impl DpOptions {
     #[must_use]
     pub fn pipelined() -> Self {
         Self { pipeline: true, ..Self::default() }
+    }
+
+    /// The default options with the online decision engine switched on.
+    #[must_use]
+    pub fn engined() -> Self {
+        Self { engine: true, ..Self::default() }
     }
 
     /// Resolve the worker count for a fill over `cells` table cells:
@@ -208,15 +226,34 @@ pub fn dp_step_scaled(
     let levels: Vec<Vec<u32>> =
         (0..d).map(|j| options.grid.levels(instance.server_count(t, j))).collect();
     let mut cur = arrival_transform(prev, &levels, betas);
-    // Each worker opens its own slot context, letting the oracle hoist
-    // per-slot arm data out of the per-cell path and solve into reused
-    // scratch (and, for caching oracles, share solved cells globally).
-    // Pipeline mode prices through the oracle's *sweep* context — each
-    // worker's chunk is a contiguous layout-order run, so warm-started
-    // KKT solvers can chain brackets cell to cell.
-    let threads = options.effective_threads(cur.len());
+    price_cells(&mut cur, instance, oracle, t, lambda, cost_scale, options);
+    cur
+}
+
+/// Add the slot's operating costs to every finite cell of `table` — the
+/// per-cell pricing block shared by [`dp_step_scaled`] and the online
+/// prefix solver's engine-off path (one definition, so the two can
+/// never silently diverge).
+///
+/// Each worker opens its own slot context, letting the oracle hoist
+/// per-slot arm data out of the per-cell path and solve into reused
+/// scratch (and, for caching oracles, share solved cells globally).
+/// Pipeline mode prices through the oracle's *sweep* context — each
+/// worker's chunk is a contiguous layout-order run, so warm-started
+/// KKT solvers can chain brackets cell to cell.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn price_cells(
+    table: &mut crate::table::Table,
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    t: usize,
+    lambda: f64,
+    cost_scale: f64,
+    options: DpOptions,
+) {
+    let threads = options.effective_threads(table.len());
     fill_cells_with(
-        &mut cur,
+        table,
         threads,
         || {
             if options.pipeline {
@@ -231,7 +268,6 @@ pub fn dp_step_scaled(
             }
         },
     );
-    cur
 }
 
 /// Switching costs `β_j` as a vector.

@@ -1,0 +1,373 @@
+//! Dense priced slots — the pricing substrate of the online decision
+//! engine.
+//!
+//! A [`PricedSlot`] is the whole grid's **unscaled** operating costs
+//! `g_t(·)` laid out exactly like a DP [`Table`], produced by one
+//! layout-order sweep through [`GtOracle::slot_sweep`] (so warm-started
+//! KKT solvers chain price brackets cell to cell, the same path the
+//! offline pipeline prices with). Once a slot is priced, folding it into
+//! a DP table is a single vectorized `v += scale · g` pass — no per-cell
+//! oracle calls, no hash probes.
+//!
+//! The [`PricedSlotPool`] retains priced slots keyed by
+//! `(slot partition, λ bits, grid)`:
+//!
+//! * **time-independent** instances share one partition, so recurring
+//!   load values (tiled diurnal traces, work-weeks) price one period and
+//!   replay it for the rest of the horizon — the online generalization of
+//!   the offline pipeline's `(λ, grid)` pricing-table pool;
+//! * **time-dependent** instances partition by slot, which is what makes
+//!   Algorithm C's sub-slot refinement collapse: all `ñ_t` sub-slots of
+//!   an original slot carry the same `(t, λ, grid)` key, so the slot is
+//!   priced exactly once however fine the refinement.
+//!
+//! The grid component of the key packs the slot's per-type fleet sizes
+//! into a mixed-radix `u128` (radix `m_j + 1` from the horizon-max
+//! counts, mirroring `rsz_dispatch`'s cache keying): for a fixed
+//! [`crate::GridMode`] the candidate levels are a pure function of those
+//! counts, so equal keys imply equal grids. Key construction allocates
+//! nothing, and neither does a pool hit — the steady-state step of
+//! [`crate::PrefixDp`] with the engine on is heap-silent, which the
+//! counting-allocator test asserts.
+//!
+//! Retention is bounded: at [`PricedSlotPool::capacity`] entries the
+//! oldest insertion is evicted (FIFO — online algorithms visit slots in
+//! order, so the oldest priced slot is also the least likely to recur).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use rsz_core::{GtOracle, Instance};
+
+use crate::table::{GridCursor, Table};
+
+/// Default retention bound of a [`PricedSlotPool`] — enough for a year
+/// of hourly slots of distinct λ on a diurnal trace, while bounding the
+/// worst case (adversarially unique loads) to `capacity · |grid|` floats.
+pub const DEFAULT_POOL_CAP: usize = 512;
+
+/// A slot's unscaled `g_t` values over a candidate grid, in table
+/// layout. Shared via [`Arc`] so pool hits and the "last priced slot"
+/// handle of [`crate::PrefixDp`] never copy the values.
+pub type PricedSlot = Arc<Table>;
+
+/// Effectiveness counters of an engine's pricing path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Slots priced by an actual oracle sweep (pool misses).
+    pub pricings: u64,
+    /// Steps answered from the pool without any oracle call.
+    pub pool_hits: u64,
+    /// Priced slots currently retained.
+    pub pooled_slots: usize,
+}
+
+impl EngineStats {
+    /// Fraction of steps answered from the pool (0 when none yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pricings + self.pool_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Key of a retained priced slot. `slot` is 0 for time-independent
+/// instances (all slots share one partition) and the slot index
+/// otherwise; `grid` packs the slot's fleet sizes mixed-radix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct PoolKey {
+    slot: u32,
+    lambda: u64,
+    grid: u128,
+}
+
+/// A bounded pool of [`PricedSlot`]s for one instance shape.
+#[derive(Clone, Debug)]
+pub struct PricedSlotPool {
+    /// `true` iff every cost is time-independent: all slots share
+    /// partition 0 (same policy as `rsz_dispatch`'s `CachedDispatcher`).
+    slot_shared: bool,
+    /// Mixed-radix strides over the horizon-max fleet sizes, plus the
+    /// per-type bounds for validity checks against foreign instances.
+    strides: Vec<u128>,
+    max_counts: Vec<u32>,
+    entries: HashMap<PoolKey, PricedSlot>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<PoolKey>,
+    cap: usize,
+    pricings: u64,
+    hits: u64,
+}
+
+impl PricedSlotPool {
+    /// A pool bound to `instance`'s shape with the default retention
+    /// bound.
+    #[must_use]
+    pub fn new(instance: &Instance) -> Self {
+        Self::with_capacity(instance, DEFAULT_POOL_CAP)
+    }
+
+    /// A pool retaining at most `cap` priced slots (`cap ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics if the fleet-size radix product overflows `u128` (fleets
+    /// astronomically beyond any enumerable grid).
+    #[must_use]
+    pub fn with_capacity(instance: &Instance, cap: usize) -> Self {
+        let max_counts = instance.max_counts();
+        let d = max_counts.len();
+        let mut strides = vec![1u128; d];
+        for j in (0..d.saturating_sub(1)).rev() {
+            let radix = u128::from(max_counts[j + 1]) + 1;
+            strides[j] = strides[j + 1]
+                .checked_mul(radix)
+                .expect("fleet sizes too large to index into the priced-slot pool");
+        }
+        Self {
+            slot_shared: instance.is_time_independent(),
+            strides,
+            max_counts,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+            pricings: 0,
+            hits: 0,
+        }
+    }
+
+    /// The retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            pricings: self.pricings,
+            pool_hits: self.hits,
+            pooled_slots: self.entries.len(),
+        }
+    }
+
+    /// The pool key for slot `t` priced at volume `lambda`, or `None`
+    /// when the slot's fleet sizes exceed the bounds the pool was built
+    /// with (possible only when a pool was initialized against a
+    /// truncated instance of a fleet that later grows — such slots are
+    /// priced without pooling rather than risking key aliasing).
+    fn key(&self, instance: &Instance, t: usize, lambda: f64) -> Option<PoolKey> {
+        let mut grid = 0u128;
+        for (j, (&stride, &max)) in self.strides.iter().zip(&self.max_counts).enumerate() {
+            let m = instance.server_count(t, j);
+            if m > max {
+                return None;
+            }
+            grid += u128::from(m) * stride;
+        }
+        let slot = if self.slot_shared { 0 } else { u32::try_from(t).ok()? };
+        Some(PoolKey { slot, lambda: lambda.to_bits(), grid })
+    }
+
+    /// The priced slot for `(t, λ)` over `levels`, from the pool or by
+    /// one oracle sweep. Hits allocate nothing; misses price, retain
+    /// (evicting the oldest entry at capacity) and return the fresh slot.
+    pub fn get_or_price(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + ?Sized),
+        t: usize,
+        lambda: f64,
+        levels: &[Vec<u32>],
+    ) -> PricedSlot {
+        let key = self.key(instance, t, lambda);
+        if let Some(key) = key {
+            if let Some(slot) = self.entries.get(&key) {
+                debug_assert_eq!(
+                    slot.all_levels(),
+                    levels,
+                    "pool key collision: same key, different grid"
+                );
+                self.hits += 1;
+                return Arc::clone(slot);
+            }
+        }
+        let priced = Arc::new(price_slot(instance, oracle, t, lambda, levels));
+        self.pricings += 1;
+        if let Some(key) = key {
+            if self.entries.len() >= self.cap {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+            self.entries.insert(key, Arc::clone(&priced));
+            self.order.push_back(key);
+        }
+        priced
+    }
+}
+
+/// Price one slot's **unscaled** `g_t` over `levels` as a single
+/// layout-order sweep through [`GtOracle::slot_sweep`] — identical to
+/// the offline pipeline's per-table pricing, so warm-started solvers
+/// chain brackets cell to cell and replayed values match to the
+/// documented relative `1e-9`.
+#[must_use]
+pub fn price_slot(
+    instance: &Instance,
+    oracle: &(impl GtOracle + ?Sized),
+    t: usize,
+    lambda: f64,
+    levels: &[Vec<u32>],
+) -> Table {
+    let mut table = Table::new(levels.to_vec(), f64::INFINITY);
+    let levels = table.all_levels().to_vec();
+    let mut sweep = oracle.slot_sweep(instance, t, lambda, 1.0);
+    let mut cursor = GridCursor::new(&levels, 0);
+    for v in table.values_mut() {
+        *v = sweep.eval(cursor.counts());
+        cursor.advance();
+    }
+    table
+}
+
+/// Fold a priced slot into a DP table in place:
+/// `table[x] += scale · g[x]`, with cells the pricing found infeasible
+/// (`g = ∞`) forced to `∞` whatever the scale. The grids must match.
+///
+/// # Panics
+/// Panics if the value lengths differ.
+pub fn add_priced(table: &mut Table, priced: &Table, scale: f64) {
+    assert_eq!(table.len(), priced.len(), "priced slot grid mismatch");
+    for (v, &g) in table.values_mut().iter_mut().zip(priced.values()) {
+        if !g.is_finite() {
+            *v = f64::INFINITY;
+        } else if v.is_finite() {
+            *v += scale * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsz_core::{CostModel, CostSpec, ServerType};
+    use rsz_dispatch::Dispatcher;
+
+    fn ti_instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .server_type(ServerType::new("b", 2, 4.0, 2.0, CostModel::constant(1.2)))
+            .loads(vec![1.0, 4.0, 1.0, 4.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    fn td_instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::with_spec(
+                "priced",
+                3,
+                2.0,
+                2.0,
+                CostSpec::scaled(CostModel::power(1.0, 0.5, 2.0), vec![1.0, 2.0, 1.0, 2.0]),
+            ))
+            .loads(vec![2.0, 4.0, 2.0, 4.0])
+            .build()
+            .unwrap()
+    }
+
+    fn full_levels(inst: &Instance, t: usize) -> Vec<Vec<u32>> {
+        (0..inst.num_types())
+            .map(|j| crate::GridMode::Full.levels(inst.server_count(t, j)))
+            .collect()
+    }
+
+    #[test]
+    fn priced_slot_matches_oracle_values() {
+        let inst = ti_instance();
+        let oracle = Dispatcher::new();
+        let levels = full_levels(&inst, 0);
+        let priced = price_slot(&inst, &oracle, 0, inst.load(0), &levels);
+        for (i, cfg) in priced.iter_configs() {
+            let want = oracle.g(&inst, 0, cfg.counts());
+            let got = priced.values()[i];
+            assert!(
+                (got == want) || (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "cell {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_independent_pool_shares_recurring_loads() {
+        let inst = ti_instance();
+        let oracle = Dispatcher::new();
+        let mut pool = PricedSlotPool::new(&inst);
+        for t in 0..inst.horizon() {
+            let levels = full_levels(&inst, t);
+            let _ = pool.get_or_price(&inst, &oracle, t, inst.load(t), &levels);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.pricings, 2, "two distinct load values");
+        assert_eq!(stats.pool_hits, 3);
+        assert_eq!(stats.pooled_slots, 2);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_dependent_pool_partitions_by_slot() {
+        let inst = td_instance();
+        let oracle = Dispatcher::new();
+        let mut pool = PricedSlotPool::new(&inst);
+        let levels = full_levels(&inst, 0);
+        // Same λ, different slots: must price separately.
+        let a = pool.get_or_price(&inst, &oracle, 0, 2.0, &levels);
+        let b = pool.get_or_price(&inst, &oracle, 1, 2.0, &levels);
+        assert_eq!(pool.stats().pricings, 2);
+        assert_ne!(a.values()[1].to_bits(), b.values()[1].to_bits(), "prices differ per slot");
+        // Re-querying a slot — Algorithm C's sub-slot replay — hits.
+        let c = pool.get_or_price(&inst, &oracle, 0, 2.0, &levels);
+        assert_eq!(pool.stats().pool_hits, 1);
+        assert!(Arc::ptr_eq(&a, &c), "hit returns the retained slot");
+    }
+
+    #[test]
+    fn pool_evicts_fifo_at_capacity() {
+        let inst = td_instance();
+        let oracle = Dispatcher::new();
+        let mut pool = PricedSlotPool::with_capacity(&inst, 2);
+        let levels = full_levels(&inst, 0);
+        for t in 0..4 {
+            let _ = pool.get_or_price(&inst, &oracle, t, inst.load(t), &levels);
+        }
+        assert_eq!(pool.stats().pooled_slots, 2);
+        // Slot 0 was evicted; slot 3 is still resident.
+        let _ = pool.get_or_price(&inst, &oracle, 3, inst.load(3), &levels);
+        assert_eq!(pool.stats().pool_hits, 1);
+        let _ = pool.get_or_price(&inst, &oracle, 0, inst.load(0), &levels);
+        assert_eq!(pool.stats().pricings, 5, "evicted slot re-priced");
+    }
+
+    #[test]
+    fn add_priced_handles_infeasible_cells() {
+        let mut table = Table::new(vec![vec![0u32, 1]], 0.0);
+        table.values_mut()[0] = f64::INFINITY;
+        table.values_mut()[1] = 2.0;
+        let mut priced = Table::new(vec![vec![0u32, 1]], 0.0);
+        priced.values_mut()[0] = 1.0;
+        priced.values_mut()[1] = f64::INFINITY;
+        add_priced(&mut table, &priced, 0.5);
+        assert!(table.values()[0].is_infinite(), "infinite DP cell stays infinite");
+        assert!(table.values()[1].is_infinite(), "infeasible pricing forces infinity");
+        let mut t2 = Table::new(vec![vec![0u32, 1]], 1.0);
+        let mut p2 = Table::new(vec![vec![0u32, 1]], 3.0);
+        p2.values_mut()[1] = 5.0;
+        add_priced(&mut t2, &p2, 0.5);
+        assert_eq!(t2.values(), &[2.5, 3.5]);
+    }
+}

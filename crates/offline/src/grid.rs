@@ -33,9 +33,20 @@ impl GridMode {
     /// Candidate levels for one dimension with fleet bound `m`.
     #[must_use]
     pub fn levels(&self, m: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.fill_levels(m, &mut out);
+        out
+    }
+
+    /// [`GridMode::levels`] into a caller-owned buffer, reusing its
+    /// capacity — the per-step path of the online engine, where the
+    /// target grid is recomputed every slot only when fleet sizes are
+    /// time-varying.
+    pub fn fill_levels(&self, m: u32, out: &mut Vec<u32>) {
+        out.clear();
         match *self {
-            GridMode::Full => (0..=m).collect(),
-            GridMode::Gamma(gamma) => gamma_levels(m, gamma),
+            GridMode::Full => out.extend(0..=m),
+            GridMode::Gamma(gamma) => fill_gamma_levels(m, gamma, out),
         }
     }
 }
@@ -52,8 +63,20 @@ impl GridMode {
 /// Panics if `gamma ≤ 1`.
 #[must_use]
 pub fn gamma_levels(m: u32, gamma: f64) -> Vec<u32> {
+    let mut levels = Vec::new();
+    fill_gamma_levels(m, gamma, &mut levels);
+    levels
+}
+
+/// [`gamma_levels`] into a reused buffer (cleared first); the sort is
+/// in-place (`sort_unstable`), so warm buffers allocate nothing.
+///
+/// # Panics
+/// Panics if `gamma ≤ 1`.
+pub fn fill_gamma_levels(m: u32, gamma: f64, levels: &mut Vec<u32>) {
     assert!(gamma > 1.0, "gamma must exceed 1");
-    let mut levels = vec![0u32];
+    levels.clear();
+    levels.push(0);
     if m >= 1 {
         levels.push(1);
     }
@@ -73,7 +96,6 @@ pub fn gamma_levels(m: u32, gamma: f64) -> Vec<u32> {
     levels.push(m);
     levels.sort_unstable();
     levels.dedup();
-    levels
 }
 
 /// Verify the defining property of a level set: consecutive positive

@@ -6,31 +6,66 @@
 //! `I_t` (Section 2: "Calculate X̂^t"). Re-running the offline DP from
 //! scratch each slot would cost `O(T² |grid| d)`; instead this module
 //! maintains the rolling table `OPT_t(·)` and advances it one slot at a
-//! time, which is exactly one [`crate::dp::dp_step`] per arriving slot.
+//! time — one arrival transform plus one pricing pass per arriving slot.
 //!
 //! The returned `x̂^t_t = argmin_x OPT_t(x)` is the last configuration of
 //! *some* optimal prefix schedule (the paper's analysis allows any), with
 //! deterministic tie-breaking toward fewer servers.
 //!
-//! **Caching:** the oracle is passed per [`PrefixDp::step`], so an owner
-//! that holds a `rsz_dispatch::CachedDispatcher` and passes it every
-//! step keeps **one `g_t` cache alive across all slots** — exactly where
-//! Algorithms A/B/C win big: time-independent costs share solves across
-//! the whole horizon (recurring load values on diurnal traces become
-//! pure cache hits), and Algorithm C's `ñ_t` sub-slots of one original
-//! slot re-use a single unscaled solve per configuration.
+//! **Stepping is in place:** the solver owns a double-buffered pair of
+//! tables plus persistent scratch (the transform's suffix-minima buffer,
+//! the per-step target grid — computed once when fleet sizes are
+//! slot-invariant — and the argmin counts buffer), so a steady-state
+//! [`PrefixDp::step_counts`] touches the allocator only when pricing a
+//! slot it has never seen (asserted by a counting-allocator test).
+//!
+//! **Pricing** depends on [`DpOptions::engine`]:
+//!
+//! * engine **off** — the legacy per-cell path: every table cell is
+//!   priced through [`GtOracle::slot_eval`] (or `slot_sweep` in pipeline
+//!   mode), exactly like [`crate::dp::dp_step_scaled`];
+//! * engine **on** — the slot is priced **once** as a dense
+//!   [`crate::engine::PricedSlot`] and retained in a bounded
+//!   `(slot partition, λ, grid)` pool: recurring loads on
+//!   time-independent instances and Algorithm C's `ñ_t` sub-slot replays
+//!   of one original slot all fold the same priced table in with a
+//!   vectorized `v += scale·g` pass, no per-cell oracle calls at all.
+//!
+//! **Caching:** the oracle is passed per step, so an owner that holds a
+//! `rsz_dispatch::CachedDispatcher` and passes it every step keeps one
+//! `g_t` cache alive across all slots; the engine's priced-slot pool
+//! composes with (and in steady state short-circuits ahead of) it.
+
+use std::sync::Arc;
 
 use rsz_core::{Config, GtOracle, Instance};
 
-use crate::dp::{betas, dp_step_scaled, DpOptions};
+use crate::dp::{betas, price_cells, DpOptions};
+use crate::engine::{add_priced, EngineStats, PricedSlotPool};
 use crate::table::Table;
+use crate::transform::arrival_transform_inplace;
 
 /// Rolling prefix-DP state.
 #[derive(Clone, Debug)]
 pub struct PrefixDp {
     betas: Vec<f64>,
     options: DpOptions,
+    /// The live table `OPT_t(·)`.
     table: Table,
+    /// Ping-pong partner of `table` for the in-place arrival transform.
+    spare: Table,
+    /// Per-step target grid; computed once when `slot_invariant`.
+    levels: Vec<Vec<u32>>,
+    levels_cached: bool,
+    slot_invariant: bool,
+    /// Suffix-minima scratch of the transform passes.
+    suffix: Vec<f64>,
+    /// Counts of the last argmin cell ([`PrefixDp::step_counts`]).
+    counts: Vec<u32>,
+    /// Priced-slot pool (engine mode only).
+    pool: Option<PricedSlotPool>,
+    /// The priced slot folded in by the most recent engine-mode step.
+    last_priced: Option<Arc<Table>>,
     slots_processed: usize,
 }
 
@@ -38,10 +73,19 @@ impl PrefixDp {
     /// Fresh state for an instance (no slots processed yet).
     #[must_use]
     pub fn new(instance: &Instance, options: DpOptions) -> Self {
+        let d = instance.num_types();
         Self {
             betas: betas(instance),
             options,
-            table: Table::origin(instance.num_types()),
+            table: Table::origin(d),
+            spare: Table::origin(d),
+            levels: Vec::new(),
+            levels_cached: false,
+            slot_invariant: !instance.has_time_varying_counts(),
+            suffix: Vec::new(),
+            counts: Vec::with_capacity(d),
+            pool: options.engine.then(|| PricedSlotPool::new(instance)),
+            last_priced: None,
             slots_processed: 0,
         }
     }
@@ -68,6 +112,22 @@ impl PrefixDp {
         }
     }
 
+    /// The dense priced slot folded in by the most recent step, when the
+    /// engine is on: the whole grid's **unscaled** `g_t` values for the
+    /// step's `(t, λ)`. Algorithm C ranks its sub-slot states by reading
+    /// this table instead of re-querying the oracle.
+    #[must_use]
+    pub fn last_priced(&self) -> Option<&Table> {
+        self.last_priced.as_deref()
+    }
+
+    /// Pricing counters of the engine's priced-slot pool (`None` when
+    /// the engine is off).
+    #[must_use]
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        self.pool.as_ref().map(PricedSlotPool::stats)
+    }
+
     /// Fold slot `t` of `instance` in and return `x̂^t_t`.
     ///
     /// `t` must equal the number of slots processed so far (slots arrive
@@ -92,20 +152,93 @@ impl PrefixDp {
         lambda: f64,
         cost_scale: f64,
     ) -> Config {
-        self.table = dp_step_scaled(
-            &self.table,
-            instance,
-            oracle,
-            t,
-            lambda,
-            cost_scale,
-            &self.betas,
-            self.options,
-        );
-        self.slots_processed += 1;
-        let idx =
-            self.table.argmin().expect("prefix instance feasible, so OPT_t has a finite cell");
+        let idx = self.advance(instance, oracle, t, lambda, cost_scale);
         self.table.config_of(idx)
+    }
+
+    /// [`PrefixDp::step`] returning the argmin counts as a borrowed
+    /// slice — the allocation-free entry point the online algorithms'
+    /// hot loops use (the slice stays valid until the next step).
+    pub fn step_counts(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + Sync),
+        t: usize,
+    ) -> &[u32] {
+        self.step_counts_scaled(instance, oracle, t, instance.load(t), 1.0)
+    }
+
+    /// [`PrefixDp::step_scaled`] returning borrowed argmin counts.
+    pub fn step_counts_scaled(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + Sync),
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> &[u32] {
+        let idx = self.advance(instance, oracle, t, lambda, cost_scale);
+        self.fill_counts(idx);
+        &self.counts
+    }
+
+    /// One DP step in place: refresh the target grid, arrival-transform
+    /// the rolling table onto it (double-buffered), add the slot's
+    /// priced costs, and return the argmin cell index.
+    fn advance(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + Sync),
+        t: usize,
+        lambda: f64,
+        cost_scale: f64,
+    ) -> usize {
+        self.refresh_levels(instance, t);
+        arrival_transform_inplace(
+            &mut self.table,
+            &mut self.spare,
+            &self.levels,
+            &self.betas,
+            &mut self.suffix,
+        );
+        if let Some(pool) = self.pool.as_mut() {
+            let priced = pool.get_or_price(instance, oracle, t, lambda, &self.levels);
+            add_priced(&mut self.table, &priced, cost_scale);
+            self.last_priced = Some(priced);
+        } else {
+            // Engine off: the exact per-cell pricing block of
+            // `dp_step_scaled` (shared definition — see `price_cells`).
+            price_cells(&mut self.table, instance, oracle, t, lambda, cost_scale, self.options);
+            self.last_priced = None;
+        }
+        self.slots_processed += 1;
+        self.table.argmin().expect("prefix instance feasible, so OPT_t has a finite cell")
+    }
+
+    /// Recompute the per-step target grid into the persistent buffers
+    /// (a no-op after the first step when fleet sizes are
+    /// slot-invariant).
+    fn refresh_levels(&mut self, instance: &Instance, t: usize) {
+        if self.levels_cached {
+            return;
+        }
+        let d = instance.num_types();
+        self.levels.resize_with(d, Vec::new);
+        for (j, buf) in self.levels.iter_mut().enumerate() {
+            self.options.grid.fill_levels(instance.server_count(t, j), buf);
+        }
+        self.levels_cached = self.slot_invariant;
+    }
+
+    /// Decode the counts of flat cell `idx` into the persistent buffer.
+    fn fill_counts(&mut self, mut idx: usize) {
+        self.counts.clear();
+        for j in 0..self.table.dims() {
+            let stride = self.table.stride(j);
+            let p = idx / stride;
+            idx %= stride;
+            self.counts.push(self.table.levels(j)[p]);
+        }
     }
 }
 
@@ -139,6 +272,45 @@ mod tests {
                 let (a, b) = (pre.table().values()[i], batch[t].values()[i]);
                 assert!((a == b) || (a - b).abs() < 1e-9, "t={t} cell {i}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn engine_tables_match_legacy_within_sweep_tolerance() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let base = DpOptions { parallel: false, ..DpOptions::default() };
+        let mut legacy = PrefixDp::new(&inst, base);
+        let mut engined = PrefixDp::new(&inst, DpOptions { engine: true, ..base });
+        for t in 0..inst.horizon() {
+            let a = legacy.step(&inst, &oracle, t);
+            let b = engined.step(&inst, &oracle, t);
+            assert_eq!(a, b, "t={t}: argmin configs diverged");
+            for i in 0..legacy.table().len() {
+                let (x, y) = (legacy.table().values()[i], engined.table().values()[i]);
+                assert!(
+                    (x == y) || (x - y).abs() <= 1e-9 * x.abs().max(1.0),
+                    "t={t} cell {i}: {x} vs {y}"
+                );
+            }
+            assert!(engined.last_priced().is_some());
+            assert!(legacy.last_priced().is_none());
+        }
+        let stats = engined.engine_stats().expect("engine on");
+        assert!(stats.pricings > 0);
+    }
+
+    #[test]
+    fn step_counts_agree_with_step() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let opts = DpOptions { parallel: false, ..DpOptions::default() };
+        let mut a = PrefixDp::new(&inst, opts);
+        let mut b = PrefixDp::new(&inst, opts);
+        for t in 0..inst.horizon() {
+            let xa = a.step(&inst, &oracle, t);
+            let xb = b.step_counts(&inst, &oracle, t);
+            assert_eq!(xa.counts(), xb, "t={t}");
         }
     }
 

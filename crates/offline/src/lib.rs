@@ -20,7 +20,13 @@
 //!   slot de-duplication) plus `√T`-checkpointed schedule recovery; the
 //!   engine behind [`dp::solve`].
 //! * [`incremental`] — a rolling prefix-optimal solver, the substrate
-//!   that makes the online algorithms of Sections 2–3 efficient.
+//!   that makes the online algorithms of Sections 2–3 efficient. It
+//!   steps in place (double-buffered tables, persistent scratch) and,
+//!   with [`DpOptions::engine`], prices through [`engine`]'s dense
+//!   priced-slot pool.
+//! * [`engine`] — the online decision engine's pricing layer: whole-grid
+//!   `g_t` tables priced once via the warm-started sweep path and
+//!   retained in a bounded `(slot partition, λ, grid)` pool.
 //! * [`relax`] — the fractional relaxation via server subdivision, for
 //!   integrality-gap measurements against the prior fractional work.
 //! * [`brute`] — exhaustive enumeration for tiny instances (test oracle).
@@ -30,6 +36,7 @@
 pub mod approx;
 pub mod brute;
 pub mod dp;
+pub mod engine;
 pub mod graph;
 pub mod grid;
 pub mod incremental;
@@ -42,6 +49,7 @@ pub mod transform;
 
 pub use approx::{approximate, ApproxResult};
 pub use dp::{solve, solve_cost_only, solve_with_stats, DpOptions, DpResult, RecoveryMode};
+pub use engine::{EngineStats, PricedSlot, PricedSlotPool};
 pub use graph::{solve as solve_graph, GraphResult};
 pub use grid::GridMode;
 pub use incremental::PrefixDp;

@@ -41,6 +41,44 @@ impl Table {
         t
     }
 
+    /// Rebuild this table in place over `d` dimensions whose level lists
+    /// are produced by `level_of`, setting every value to `init`.
+    ///
+    /// Unlike [`Table::new`] this **reuses** the existing level, stride
+    /// and value allocations: once buffers have grown to a shape's
+    /// high-water mark, repeated resets to same-or-smaller shapes touch
+    /// no allocator at all. This is what lets the online engine's
+    /// double-buffered DP step run allocation-free in steady state.
+    ///
+    /// # Panics
+    /// Panics (via debug assertions) if any produced dimension is empty
+    /// or unsorted.
+    pub fn reset_shape<'l>(
+        &mut self,
+        d: usize,
+        mut level_of: impl FnMut(usize) -> &'l [u32],
+        init: f64,
+    ) {
+        assert!(d >= 1, "tables need at least one dimension");
+        self.levels.resize_with(d, Vec::new);
+        self.strides.resize(d, 1);
+        let mut size = 1usize;
+        for j in 0..d {
+            let src = level_of(j);
+            debug_assert!(!src.is_empty(), "grid dimension must be non-empty");
+            debug_assert!(src.windows(2).all(|w| w[0] < w[1]), "levels must be strictly sorted");
+            self.levels[j].clear();
+            self.levels[j].extend_from_slice(src);
+            size *= src.len();
+        }
+        self.strides[d - 1] = 1;
+        for j in (0..d.saturating_sub(1)).rev() {
+            self.strides[j] = self.strides[j + 1] * self.levels[j + 1].len();
+        }
+        self.values.clear();
+        self.values.resize(size, init);
+    }
+
     /// Number of dimensions `d`.
     #[must_use]
     pub fn dims(&self) -> usize {

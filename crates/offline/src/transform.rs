@@ -28,16 +28,37 @@ use crate::table::Table;
 /// old_vals[k])^+`, where `prev[k]` is read through `get_prev` and results
 /// are written through `set_out`. Both level slices must be sorted
 /// ascending.
+///
+/// Allocates a fresh suffix buffer per call; hot loops over many lines
+/// should hold one buffer and call [`transform_line_scratch`] instead
+/// (as [`transform_dim`] itself does).
 pub fn transform_line(
     old_vals: &[u32],
     new_vals: &[u32],
     beta: f64,
     get_prev: impl Fn(usize) -> f64,
+    set_out: impl FnMut(usize, f64),
+) {
+    let mut suffix = Vec::new();
+    transform_line_scratch(old_vals, new_vals, beta, &mut suffix, get_prev, set_out);
+}
+
+/// [`transform_line`] with a caller-owned suffix-minima buffer: `suffix`
+/// is resized (reusing capacity) and overwritten, so a warm buffer makes
+/// the line pass allocation-free. The buffer carries no state between
+/// calls — any `Vec` will do.
+pub fn transform_line_scratch(
+    old_vals: &[u32],
+    new_vals: &[u32],
+    beta: f64,
+    suffix: &mut Vec<f64>,
+    get_prev: impl Fn(usize) -> f64,
     mut set_out: impl FnMut(usize, f64),
 ) {
     let n_old = old_vals.len();
     // Suffix minima of prev: suffix[k] = min_{l ≥ k} prev[l].
-    let mut suffix = vec![f64::INFINITY; n_old + 1];
+    suffix.clear();
+    suffix.resize(n_old + 1, f64::INFINITY);
     for k in (0..n_old).rev() {
         suffix[k] = suffix[k + 1].min(get_prev(k));
     }
@@ -62,38 +83,73 @@ pub fn transform_line(
 /// levels `new_levels`; all other dimensions are unchanged.
 #[must_use]
 pub fn transform_dim(table: &Table, j: usize, new_levels: &[u32], beta: f64) -> Table {
-    let d = table.dims();
-    debug_assert!(j < d);
-    let old_levels = table.levels(j).to_vec();
     let mut levels: Vec<Vec<u32>> = table.all_levels().to_vec();
     levels[j] = new_levels.to_vec();
     let mut out = Table::new(levels, f64::INFINITY);
+    let mut suffix = Vec::new();
+    transform_lines(table, &mut out, j, new_levels, beta, &mut suffix);
+    out
+}
 
+/// [`transform_dim`] into a caller-owned destination table, reusing its
+/// buffers ([`Table::reset_shape`]) and the `suffix` scratch: steady-state
+/// calls with unchanged shapes perform zero heap allocation. `dst` is
+/// reshaped to `table`'s grid with dimension `j` replaced by `new_levels`
+/// and every cell overwritten.
+pub fn transform_dim_into(
+    table: &Table,
+    dst: &mut Table,
+    j: usize,
+    new_levels: &[u32],
+    beta: f64,
+    suffix: &mut Vec<f64>,
+) {
+    let d = table.dims();
+    dst.reset_shape(d, |jj| if jj == j { new_levels } else { table.levels(jj) }, f64::INFINITY);
+    transform_lines(table, dst, j, new_levels, beta, suffix);
+}
+
+/// The line loop shared by [`transform_dim`] and [`transform_dim_into`]:
+/// `dst` must already carry `table`'s grid with dimension `j` re-gridded
+/// to `new_levels` (passed separately so the destination's value slice
+/// can be borrowed mutably while the levels are read).
+fn transform_lines(
+    table: &Table,
+    dst: &mut Table,
+    j: usize,
+    new_levels: &[u32],
+    beta: f64,
+    suffix: &mut Vec<f64>,
+) {
+    let d = table.dims();
+    debug_assert!(j < d);
+    debug_assert_eq!(dst.levels(j), new_levels);
     let old_stride = table.stride(j);
-    let new_stride = out.stride(j);
-    let n_old = old_levels.len();
+    let new_stride = dst.stride(j);
+    let n_old = table.levels(j).len();
     let n_new = new_levels.len();
     // Flat layout: index = a·(n·s) + p·s + b with p the position along j,
     // s the stride of j, b ∈ [0, s), a the outer block index.
     let outer_blocks = table.len() / (n_old * old_stride);
     let in_vals = table.values();
-    let out_vals = out.values_mut();
+    let old_levels = table.levels(j);
+    let out_vals = dst.values_mut();
     for a in 0..outer_blocks {
         let in_base_a = a * n_old * old_stride;
         let out_base_a = a * n_new * new_stride;
         for b in 0..old_stride {
             let in_base = in_base_a + b;
             let out_base = out_base_a + b;
-            transform_line(
-                &old_levels,
+            transform_line_scratch(
+                old_levels,
                 new_levels,
                 beta,
+                suffix,
                 |k| in_vals[in_base + k * old_stride],
                 |i, v| out_vals[out_base + i * new_stride] = v,
             );
         }
     }
-    out
 }
 
 /// Full arrival transform: apply [`transform_dim`] for every dimension,
@@ -103,15 +159,44 @@ pub fn transform_dim(table: &Table, j: usize, new_levels: &[u32], beta: f64) -> 
 /// `x` on the new grid.
 #[must_use]
 pub fn arrival_transform(table: &Table, new_levels: &[Vec<u32>], betas: &[f64]) -> Table {
-    let d = table.dims();
+    let mut a = table.clone();
+    let mut b = Table::origin(table.dims());
+    let mut suffix = Vec::new();
+    arrival_transform_inplace(&mut a, &mut b, new_levels, betas, &mut suffix);
+    a
+}
+
+/// [`arrival_transform`] in place: `a` holds the source table on entry
+/// and the transformed table on exit, with `b` as the ping-pong partner
+/// (its contents are scratch in both directions). The `d` dimension
+/// passes alternate between the two buffers and the final result is
+/// swapped back into `a`; together with the reused `suffix` scratch this
+/// makes the whole transform allocation-free once both buffers have
+/// reached their shape's high-water mark — the steady state of the
+/// online engine's [`crate::PrefixDp`].
+pub fn arrival_transform_inplace(
+    a: &mut Table,
+    b: &mut Table,
+    new_levels: &[Vec<u32>],
+    betas: &[f64],
+    suffix: &mut Vec<f64>,
+) {
+    let d = a.dims();
     debug_assert_eq!(new_levels.len(), d);
     debug_assert_eq!(betas.len(), d);
-    let mut cur = table.clone();
-    #[allow(clippy::needless_range_loop)] // j indexes new_levels and betas together
-    for j in 0..d {
-        cur = transform_dim(&cur, j, &new_levels[j], betas[j]);
+    {
+        let (mut src, mut dst) = (&mut *a, &mut *b);
+        for j in 0..d {
+            transform_dim_into(src, dst, j, &new_levels[j], betas[j], suffix);
+            std::mem::swap(&mut src, &mut dst);
+        }
     }
-    cur
+    // After d passes the result sits in `a` for even d, `b` for odd d;
+    // swapping the table structs (pointer-sized moves) restores the
+    // contract without copying values.
+    if d % 2 == 1 {
+        std::mem::swap(a, b);
+    }
 }
 
 /// Naive `O(|grid|²)` reference implementation of the arrival transform,

@@ -42,11 +42,27 @@ pub struct AOptions {
     /// Price prefix-DP slots through the warm-started sweep path; see
     /// [`DpOptions::pipeline`].
     pub pipeline: bool,
+    /// Run the prefix solver through the online decision engine (dense
+    /// priced-slot pool, allocation-free stepping); see
+    /// [`DpOptions::engine`].
+    pub engine: bool,
+    /// Retain the **full** per-slot power-up log `w` (`O(T·d)` memory)
+    /// instead of only the ring of rows still inside a retirement
+    /// window. Needed by the block decomposition ([`crate::blocks`]);
+    /// off by default so long-horizon controllers run in `O(max t̄·d)`.
+    pub keep_power_up_log: bool,
 }
 
 impl Default for AOptions {
     fn default() -> Self {
-        Self { grid: GridMode::Full, parallel: false, threads: None, pipeline: false }
+        Self {
+            grid: GridMode::Full,
+            parallel: false,
+            threads: None,
+            pipeline: false,
+            engine: false,
+            keep_power_up_log: false,
+        }
     }
 }
 
@@ -60,8 +76,15 @@ impl AOptions {
             parallel: self.parallel,
             pipeline: self.pipeline,
             threads: self.threads,
+            engine: self.engine,
             ..DpOptions::default()
         }
+    }
+
+    /// The default options with the online decision engine switched on.
+    #[must_use]
+    pub fn engined() -> Self {
+        Self { engine: true, ..Self::default() }
     }
 }
 
@@ -72,11 +95,22 @@ pub struct AlgorithmA<O> {
     prefix: PrefixDp,
     /// Current active servers per type.
     x: Vec<u32>,
-    /// Power-up log: `w[t][j]` servers of type `j` powered up at slot `t`.
-    w: Vec<Vec<u32>>,
+    /// Ring of the most recent power-up rows: `ring[t mod cap][j]`
+    /// servers of type `j` powered up at slot `t`, with
+    /// `cap = max_j t̄_j` — the only rows a future retirement can still
+    /// read. Empty when every type idles for free (no retirements ever).
+    ring: Vec<Vec<u32>>,
+    /// The full log `w[t][j]`, retained only under
+    /// [`AOptions::keep_power_up_log`] (the block decomposition needs
+    /// all of history; the controller itself does not).
+    full_log: Option<Vec<Vec<u32>>>,
+    /// Scratch copy of the latest prefix target.
+    target: Vec<u32>,
     /// Deterministic runtimes `t̄_j`; `None` = never power down
     /// (`f_j(0) = 0`, idling is free).
     tbar: Vec<Option<usize>>,
+    /// Slots processed so far.
+    steps: usize,
 }
 
 impl<O: GtOracle + Sync> AlgorithmA<O> {
@@ -105,12 +139,17 @@ impl<O: GtOracle + Sync> AlgorithmA<O> {
                 }
             })
             .collect();
+        let tbar: Vec<Option<usize>> = tbar;
+        let ring_cap = tbar.iter().flatten().copied().max().unwrap_or(0);
         Self {
             oracle,
             prefix: PrefixDp::new(instance, options.dp_options()),
             x: vec![0; d],
-            w: Vec::new(),
+            ring: vec![vec![0; d]; ring_cap],
+            full_log: options.keep_power_up_log.then(Vec::new),
+            target: Vec::with_capacity(d),
             tbar,
+            steps: 0,
         }
     }
 
@@ -121,18 +160,36 @@ impl<O: GtOracle + Sync> AlgorithmA<O> {
         self.tbar[j]
     }
 
-    /// The power-up log `w` (`w[t][j]` = servers of type `j` powered up at
-    /// slot `t`) — the raw material of the block decomposition
-    /// ([`crate::blocks`]).
+    /// The full power-up log `w` (`w[t][j]` = servers of type `j` powered
+    /// up at slot `t`) — the raw material of the block decomposition
+    /// ([`crate::blocks`]). `None` unless the run was started with
+    /// [`AOptions::keep_power_up_log`]: by default only the ring of rows
+    /// inside a retirement window is retained, so long-horizon
+    /// controllers don't grow memory with `T`.
     #[must_use]
-    pub fn power_up_log(&self) -> &[Vec<u32>] {
-        &self.w
+    pub fn power_up_log(&self) -> Option<&[Vec<u32>]> {
+        self.full_log.as_deref()
+    }
+
+    /// Number of power-up rows currently held in memory: `max_j t̄_j`
+    /// ring rows, plus the full history iff it was opted into. The
+    /// long-horizon memory test pins this.
+    #[must_use]
+    pub fn retained_log_rows(&self) -> usize {
+        self.ring.len() + self.full_log.as_ref().map_or(0, Vec::len)
     }
 
     /// The prefix-optimal target `x̂^t_t` most recently computed.
     #[must_use]
     pub fn prefix_opt_cost(&self) -> f64 {
         self.prefix.prefix_opt_cost()
+    }
+
+    /// Pricing counters of the prefix solver's engine (`None` when the
+    /// engine is off).
+    #[must_use]
+    pub fn engine_stats(&self) -> Option<rsz_offline::EngineStats> {
+        self.prefix.engine_stats()
     }
 }
 
@@ -142,27 +199,61 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for AlgorithmA<O> {
     }
 
     fn decide(&mut self, instance: &Instance, t: usize) -> Config {
-        debug_assert_eq!(t, self.w.len(), "slots must arrive in order");
+        debug_assert_eq!(t, self.steps, "slots must arrive in order");
         let d = self.x.len();
-        let xhat = self.prefix.step(instance, &self.oracle, t);
-        let mut w_t = vec![0u32; d];
-        #[allow(clippy::needless_range_loop)] // j indexes x, w_t, tbar and xhat
+        {
+            let Self { prefix, target, oracle, .. } = self;
+            let xhat = prefix.step_counts(instance, oracle, t);
+            target.clear();
+            target.extend_from_slice(xhat);
+        }
+        let cap = self.ring.len();
+        // Retire servers whose t̄_j-slot lifetime has expired. All reads
+        // happen before the ring slot for `t` is overwritten below: the
+        // oldest readable row, `t − cap`, lives in exactly that slot.
+        #[allow(clippy::needless_range_loop)] // j indexes x, tbar and target
         for j in 0..d {
-            // Retire servers whose t̄_j-slot lifetime has expired.
             if let Some(tb) = self.tbar[j] {
                 if t >= tb {
-                    let expired = self.w[t - tb][j];
+                    let expired = self.ring[(t - tb) % cap][j];
                     debug_assert!(self.x[j] >= expired);
                     self.x[j] -= expired;
                 }
             }
-            // Raise to the prefix optimum.
-            if self.x[j] <= xhat.count(j) {
-                w_t[j] = xhat.count(j) - self.x[j];
-                self.x[j] = xhat.count(j);
+        }
+        // Raise to the prefix optimum, recording this slot's power-ups.
+        if cap > 0 {
+            let row = &mut self.ring[t % cap];
+            #[allow(clippy::needless_range_loop)] // j indexes x, row and target
+            for j in 0..d {
+                if self.x[j] <= self.target[j] {
+                    row[j] = self.target[j] - self.x[j];
+                    self.x[j] = self.target[j];
+                } else {
+                    row[j] = 0;
+                }
+            }
+            if let Some(log) = self.full_log.as_mut() {
+                log.push(row.clone());
+            }
+        } else {
+            // No type ever retires: nothing reads the ring, so a row is
+            // materialized only for the opt-in full log.
+            let mut row = self.full_log.is_some().then(|| vec![0u32; d]);
+            #[allow(clippy::needless_range_loop)] // j indexes x and target
+            for j in 0..d {
+                if self.x[j] <= self.target[j] {
+                    if let Some(row) = row.as_mut() {
+                        row[j] = self.target[j] - self.x[j];
+                    }
+                    self.x[j] = self.target[j];
+                }
+            }
+            if let (Some(log), Some(row)) = (self.full_log.as_mut(), row) {
+                log.push(row);
             }
         }
-        self.w.push(w_t);
+        self.steps += 1;
         Config::new(self.x.clone())
     }
 }
@@ -258,6 +349,63 @@ mod tests {
             .build()
             .unwrap();
         let _ = AlgorithmA::new(&inst, Dispatcher::new(), AOptions::default());
+    }
+
+    #[test]
+    fn long_horizon_runs_do_not_grow_the_power_up_log() {
+        // t̄ = ⌈3/1⌉ = 3: however long the horizon, only max t̄ = 3 ring
+        // rows may stay resident — the O(T·d) log is opt-in now.
+        let loads: Vec<f64> = (0..2000).map(|t| f64::from((t % 5) as u32)).collect();
+        let inst = simple(loads, 3.0, 1.0);
+        let oracle = Dispatcher::new();
+        let mut a = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let outcome = run(&inst, &mut a, &oracle);
+        outcome.schedule.check_feasible(&inst).unwrap();
+        assert_eq!(a.retained_log_rows(), 3, "ring must hold exactly max t̄ rows");
+        assert!(a.power_up_log().is_none(), "full log must be opt-in");
+    }
+
+    #[test]
+    fn opt_in_log_matches_ring_driven_schedule() {
+        // The ring-driven controller and the full-log variant decide
+        // identically, and the opted-in log records one row per slot
+        // with exactly the power-ups the schedule realizes.
+        let loads = vec![1.0, 3.0, 0.0, 2.0, 4.0, 0.0, 1.0, 2.0];
+        let inst = simple(loads, 3.0, 1.0);
+        let oracle = Dispatcher::new();
+        let mut plain = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let want = run(&inst, &mut plain, &oracle);
+        let mut logged = AlgorithmA::new(
+            &inst,
+            oracle,
+            AOptions { keep_power_up_log: true, ..AOptions::default() },
+        );
+        let got = run(&inst, &mut logged, &oracle);
+        assert_eq!(want.schedule, got.schedule);
+        let log = logged.power_up_log().expect("opted in");
+        assert_eq!(log.len(), inst.horizon());
+        assert_eq!(logged.retained_log_rows(), 3 + inst.horizon());
+        // The retained log is the real block-decomposition substrate:
+        // Lemma 7's partition invariant must hold on it.
+        let w: Vec<u32> = log.iter().map(|row| row[0]).collect();
+        let tbar = logged.runtime(0).expect("positive idle cost");
+        let dec = crate::blocks::decompose(&w, tbar);
+        assert!(dec.is_partition());
+        assert!(dec.spacing_at_least(tbar));
+    }
+
+    #[test]
+    fn engine_mode_decides_identically() {
+        let inst = simple(vec![1.0, 3.0, 0.0, 2.0, 4.0, 0.0, 1.0, 2.0], 3.0, 1.0);
+        let oracle = Dispatcher::new();
+        let mut plain = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let want = run(&inst, &mut plain, &oracle);
+        let mut engined = AlgorithmA::new(&inst, oracle, AOptions::engined());
+        let got = run(&inst, &mut engined, &oracle);
+        assert_eq!(want.schedule, got.schedule);
+        let stats = engined.engine_stats().expect("engine on");
+        assert!(stats.pricings > 0);
+        assert!(plain.engine_stats().is_none());
     }
 
     #[test]

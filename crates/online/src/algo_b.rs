@@ -39,6 +39,9 @@ pub struct BCore {
     prefix: PrefixDp,
     x: Vec<u32>,
     batches: Vec<Vec<Batch>>,
+    /// Scratch copy of the latest prefix target (borrow separation from
+    /// the prefix solver's internal buffer).
+    target: Vec<u32>,
     /// Power-up events as (step_index, type, count), for analysis.
     power_ups: Vec<(usize, usize, u32)>,
     steps: usize,
@@ -53,6 +56,7 @@ impl BCore {
             prefix: PrefixDp::new(instance, options.dp_options()),
             x: vec![0; d],
             batches: vec![Vec::new(); d],
+            target: Vec::with_capacity(d),
             power_ups: Vec::new(),
             steps: 0,
         }
@@ -62,6 +66,14 @@ impl BCore {
     #[must_use]
     pub fn active(&self) -> &[u32] {
         &self.x
+    }
+
+    /// The internal prefix solver — exposed so Algorithm C can read the
+    /// engine's dense priced slot (`PrefixDp::last_priced`) and its
+    /// pricing counters.
+    #[must_use]
+    pub fn prefix(&self) -> &PrefixDp {
+        &self.prefix
     }
 
     /// Power-up events seen so far (`(step, type, count)`).
@@ -83,8 +95,15 @@ impl BCore {
         scale: f64,
     ) -> Config {
         self.retire(instance, t, scale);
-        let xhat = self.prefix.step_scaled(instance, oracle, t, lambda, scale);
-        self.raise_to(&xhat);
+        {
+            // Split borrows: the returned counts slice keeps `prefix`
+            // borrowed while it is copied into the target scratch.
+            let Self { prefix, target, .. } = self;
+            let xhat = prefix.step_counts_scaled(instance, oracle, t, lambda, scale);
+            target.clear();
+            target.extend_from_slice(xhat);
+        }
+        self.raise_to_target();
         self.steps += 1;
         Config::new(self.x.clone())
     }
@@ -101,7 +120,9 @@ impl BCore {
         scale: f64,
     ) -> Config {
         self.retire(instance, t, scale);
-        self.raise_to(xhat);
+        self.target.clear();
+        self.target.extend_from_slice(xhat.counts());
+        self.raise_to_target();
         self.steps += 1;
         Config::new(self.x.clone())
     }
@@ -129,15 +150,16 @@ impl BCore {
         }
     }
 
-    /// Power-ups toward the target configuration.
-    fn raise_to(&mut self, xhat: &Config) {
+    /// Power-ups toward the target configuration in `self.target`.
+    fn raise_to_target(&mut self) {
         for j in 0..self.x.len() {
-            if self.x[j] <= xhat.count(j) {
-                let up = xhat.count(j) - self.x[j];
+            let want = self.target[j];
+            if self.x[j] <= want {
+                let up = want - self.x[j];
                 if up > 0 {
                     self.batches[j].push(Batch { acc: 0.0, count: up });
                     self.power_ups.push((self.steps, j, up));
-                    self.x[j] = xhat.count(j);
+                    self.x[j] = want;
                 }
             }
         }

@@ -31,15 +31,30 @@ impl<O: GtOracle + Sync> LazyCapacityProvisioning<O> {
     /// Panics if the instance has more than one server type.
     #[must_use]
     pub fn new(instance: &Instance, oracle: O) -> Self {
-        assert_eq!(instance.num_types(), 1, "LCP is defined for homogeneous data centers (d = 1)");
-        Self {
+        Self::with_options(
+            instance,
             oracle,
-            prefix: PrefixDp::new(
-                instance,
-                DpOptions { grid: GridMode::Full, parallel: false, ..DpOptions::default() },
-            ),
-            x: 0,
-        }
+            DpOptions { grid: GridMode::Full, parallel: false, ..DpOptions::default() },
+        )
+    }
+
+    /// [`LazyCapacityProvisioning::new`] with explicit prefix-solver
+    /// options — how the online decision engine ([`DpOptions::engine`])
+    /// and the pipeline pricing path are switched on for LCP.
+    ///
+    /// # Panics
+    /// Panics if the instance has more than one server type.
+    #[must_use]
+    pub fn with_options(instance: &Instance, oracle: O, options: DpOptions) -> Self {
+        assert_eq!(instance.num_types(), 1, "LCP is defined for homogeneous data centers (d = 1)");
+        Self { oracle, prefix: PrefixDp::new(instance, options), x: 0 }
+    }
+
+    /// Pricing counters of the prefix solver's engine (`None` when
+    /// [`DpOptions::engine`] is off).
+    #[must_use]
+    pub fn engine_stats(&self) -> Option<rsz_offline::EngineStats> {
+        self.prefix.engine_stats()
     }
 
     /// The corridor `[lower, upper]` of final states of optimal prefix
@@ -50,9 +65,10 @@ impl<O: GtOracle + Sync> LazyCapacityProvisioning<O> {
         let tol = 1e-9 * min.abs().max(1.0);
         let mut lower = u32::MAX;
         let mut upper = 0u32;
+        let levels = table.levels(0); // d = 1: flat index == level position
         for (i, &v) in table.values().iter().enumerate() {
             if v.is_finite() && v <= min + tol {
-                let level = table.config_of(i).count(0);
+                let level = levels[i];
                 lower = lower.min(level);
                 upper = upper.max(level);
             }
@@ -67,7 +83,7 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for LazyCapacityProvisioning<O> {
     }
 
     fn decide(&mut self, instance: &Instance, t: usize) -> Config {
-        let _ = self.prefix.step(instance, &self.oracle, t);
+        let _ = self.prefix.step_counts(instance, &self.oracle, t);
         let (lower, upper) = self.corridor();
         // Lazy projection onto the corridor.
         self.x = self.x.clamp(lower, upper.max(lower));

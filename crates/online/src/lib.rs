@@ -44,4 +44,4 @@ pub use algo_b::AlgorithmB;
 pub use algo_c::AlgorithmC;
 pub use lcp::LazyCapacityProvisioning;
 pub use receding::RecedingHorizon;
-pub use runner::{run, OnlineAlgorithm, OnlineRun};
+pub use runner::{run, run_instrumented, LatencyProfile, OnlineAlgorithm, OnlineRun};

@@ -15,7 +15,9 @@
 
 use rsz_core::{Config, GtOracle, Instance};
 use rsz_offline::dp::{backtrack_window, betas, dp_step, DpOptions};
+use rsz_offline::engine::{add_priced, PricedSlotPool};
 use rsz_offline::table::Table;
+use rsz_offline::transform::arrival_transform;
 use rsz_offline::GridMode;
 
 use crate::runner::OnlineAlgorithm;
@@ -27,11 +29,18 @@ pub struct RecedingHorizon<O> {
     oracle: O,
     /// Forecast window length `w ≥ 1` (1 = myopic with switching).
     pub window: usize,
-    /// Options for the window DP (grid, pipeline pricing, threads). RHC
-    /// re-solves overlapping windows every slot, so the pipeline's
-    /// warm-started sweeps and a caching oracle both pay off here.
+    /// Options for the window DP (grid, pipeline pricing, threads,
+    /// engine). RHC re-solves overlapping windows every slot, so the
+    /// pipeline's warm-started sweeps and a caching oracle both pay off
+    /// here — and with [`DpOptions::engine`] the priced-slot pool
+    /// carries each slot's dense `g_t` table across windows, so the
+    /// `w − 1` overlapping slots of consecutive windows are re-priced
+    /// by a vectorized add instead of per-cell solves.
     pub options: DpOptions,
     prev: Option<Config>,
+    /// Priced-slot pool (engine mode), initialized lazily at the first
+    /// decision so it binds to the instance actually driven.
+    pool: Option<PricedSlotPool>,
 }
 
 impl<O: GtOracle + Sync> RecedingHorizon<O> {
@@ -43,7 +52,14 @@ impl<O: GtOracle + Sync> RecedingHorizon<O> {
     pub fn new(oracle: O, window: usize) -> Self {
         assert!(window >= 1, "window must be at least one slot");
         let options = DpOptions { parallel: false, ..DpOptions::default() };
-        Self { oracle, window, options, prev: None }
+        Self { oracle, window, options, prev: None, pool: None }
+    }
+
+    /// Pricing counters of the engine's priced-slot pool (`None` before
+    /// the first decision or when the engine is off).
+    #[must_use]
+    pub fn engine_stats(&self) -> Option<rsz_offline::EngineStats> {
+        self.pool.as_ref().map(PricedSlotPool::stats)
     }
 
     /// Use a γ-grid for the window DP (large fleets).
@@ -82,10 +98,31 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
         let mut point = Table::new(point_levels, f64::INFINITY);
         point.values_mut()[0] = 0.0;
 
+        // Rebind the pool at every run start (t = 0), not just on first
+        // use: pooled g_t tables are only valid for the instance they
+        // were priced against, and a controller re-driven over a
+        // different instance with equal fleet sizes would otherwise
+        // silently optimize against stale operating costs.
+        if opts.engine && (self.pool.is_none() || t == 0) {
+            self.pool = Some(PricedSlotPool::new(instance));
+        }
         let mut tables: Vec<Table> = Vec::with_capacity(end - t);
         for u in t..end {
             let prev = tables.last().unwrap_or(&point);
-            tables.push(dp_step(prev, instance, &self.oracle, u, &b, opts));
+            let next = if let Some(pool) = self.pool.as_mut() {
+                // Engine path: transform onto slot u's grid and fold in
+                // the pooled dense pricing — overlapping windows hit.
+                let levels: Vec<Vec<u32>> =
+                    (0..d).map(|j| opts.grid.levels(instance.server_count(u, j))).collect();
+                let priced =
+                    pool.get_or_price(instance, &self.oracle, u, instance.load(u), &levels);
+                let mut cur = arrival_transform(prev, &levels, &b);
+                add_priced(&mut cur, &priced, 1.0);
+                cur
+            } else {
+                dp_step(prev, instance, &self.oracle, u, &b, opts)
+            };
+            tables.push(next);
         }
         let plan = backtrack_window(instance, &tables);
         let choice = plan.schedule.config(0).clone();
@@ -157,6 +194,32 @@ mod tests {
     #[should_panic(expected = "window")]
     fn rejects_zero_window() {
         let _ = RecedingHorizon::new(Dispatcher::new(), 0);
+    }
+
+    #[test]
+    fn engine_pool_rebinds_per_run_and_never_serves_stale_prices() {
+        // Same fleet shape, different operating costs: a controller
+        // re-driven over the second instance must not answer windows
+        // from the first instance's pooled g_t tables.
+        let cheap = Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::constant(0.5)))
+            .loads(vec![1.0, 2.0, 1.0, 2.0])
+            .build()
+            .unwrap();
+        let pricey = Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::constant(5.0)))
+            .loads(vec![1.0, 2.0, 1.0, 2.0])
+            .build()
+            .unwrap();
+        let oracle = Dispatcher::new();
+        let opts = DpOptions { engine: true, parallel: false, ..DpOptions::default() };
+        let mut reused = RecedingHorizon::new(oracle, 2).with_options(opts);
+        let _ = run(&cheap, &mut reused, &oracle);
+        reused.prev = None; // fresh run; the pool must rebind on t = 0 too
+        let second = run(&pricey, &mut reused, &oracle);
+        let mut fresh = RecedingHorizon::new(oracle, 2).with_options(opts);
+        let want = run(&pricey, &mut fresh, &oracle);
+        assert_eq!(want.schedule, second.schedule, "stale pooled prices leaked across runs");
     }
 
     #[test]

@@ -68,6 +68,90 @@ pub fn run(
     OnlineRun { name: algo.name(), schedule, breakdown }
 }
 
+/// Per-decision latency profile of an online run — the numbers a
+/// cluster controller actually cares about ([`run_instrumented`]).
+#[derive(Clone, Debug)]
+pub struct LatencyProfile {
+    /// One wall-clock sample per slot, in seconds, in slot order.
+    samples: Vec<f64>,
+}
+
+impl LatencyProfile {
+    /// Profile over raw per-decision samples (seconds, slot order).
+    #[must_use]
+    pub fn new(samples: Vec<f64>) -> Self {
+        Self { samples }
+    }
+
+    /// The raw samples, in slot order.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The `q`-quantile (nearest-rank, `0 ≤ q ≤ 1`) in seconds; 0 for an
+    /// empty profile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Mean per-decision latency in seconds (0 for an empty profile).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Worst per-decision latency in seconds.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// `(p50, p90, p99, max, mean)` in microseconds — the report row the
+    /// CLI and the `online_engine` bench print.
+    #[must_use]
+    pub fn summary_us(&self) -> (f64, f64, f64, f64, f64) {
+        (
+            self.quantile(0.50) * 1e6,
+            self.quantile(0.90) * 1e6,
+            self.quantile(0.99) * 1e6,
+            self.max() * 1e6,
+            self.mean() * 1e6,
+        )
+    }
+}
+
+/// [`run`] with a wall clock around every [`OnlineAlgorithm::decide`]
+/// call: returns the run plus its per-decision [`LatencyProfile`].
+pub fn run_instrumented(
+    instance: &Instance,
+    algo: &mut dyn OnlineAlgorithm,
+    oracle: &dyn GtOracle,
+) -> (OnlineRun, LatencyProfile) {
+    let mut schedule = Schedule::empty();
+    let mut samples = Vec::with_capacity(instance.horizon());
+    for t in 0..instance.horizon() {
+        let start = std::time::Instant::now();
+        let decision = algo.decide(instance, t);
+        samples.push(start.elapsed().as_secs_f64());
+        schedule.push(decision);
+    }
+    let breakdown = evaluate(instance, &schedule, oracle);
+    (OnlineRun { name: algo.name(), schedule, breakdown }, LatencyProfile::new(samples))
+}
+
 /// Run `algo` handing it only the *revealed prefix* `I_{t+1}` at each
 /// step: any attempt to read beyond slot `t` panics on the truncated
 /// instance. Slower (clones per slot); used by tests to certify that an

@@ -14,13 +14,15 @@
 //! `cpu-gpu:C,G`, `old-new:O,N`, `three-tier:L,C,G`); traces are plain
 //! one-value-per-line files (see `rsz_workloads::io`).
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::ExitCode;
 
 use heterogeneous_rightsizing::core::render;
 use heterogeneous_rightsizing::offline::{self, DpOptions};
 use heterogeneous_rightsizing::online::algo_c::COptions;
-use heterogeneous_rightsizing::online::{self, AlgorithmA, AlgorithmB, AlgorithmC};
+use heterogeneous_rightsizing::online::{
+    self, AlgorithmA, AlgorithmB, AlgorithmC, LazyCapacityProvisioning, RecedingHorizon,
+};
 use heterogeneous_rightsizing::prelude::*;
 use heterogeneous_rightsizing::workloads::{fleet, io, patterns, stochastic};
 
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("solve") => solve(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
         Some("generate") => generate(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             eprintln!("{USAGE}");
@@ -43,6 +46,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--cache] [--pipeline]
                [--threads N] [--out FILE] [--chart]
+  rsz simulate --trace FILE --fleet PRESET --algo {a|b|c[:EPS]|lcp|rhc[:W]}
+               [--engine] [--cache] [--pipeline] [--out FILE]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
@@ -58,7 +63,17 @@ slot-parallel pricing, warm-started KKT row sweeps, per-day slot reuse
 on repeating traces); costs agree with the legacy path to a relative
 1e-9, and epsilon-tolerant tie-breaks keep the recovered schedule
 matching the legacy path's (gated on every bench workload). --threads N
-pins the solver's worker count (default: all cores for large grids).";
+pins the solver's worker count (default: all cores for large grids).
+
+simulate drives an online controller slot by slot with a wall clock
+around every decision and reports per-decision latency percentiles.
+--engine switches the prefix solvers onto the online decision engine:
+in-place (allocation-free) DP stepping plus a pooled dense pricing
+table per (slot, λ, grid) — recurring loads and Algorithm C's sub-slot
+replays fold a priced slot in with one vectorized add instead of
+per-cell dispatch solves. Decisions are identical with the engine on or
+off (property-tested); lcp needs a homogeneous fleet, rhc:W sets the
+forecast window (default 8).";
 
 /// Pull `--name value` out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -83,34 +98,11 @@ fn parse_fleet(spec: &str) -> Result<Vec<ServerType>, String> {
 }
 
 fn solve(args: &[String]) -> ExitCode {
-    let trace_path = match flag(args, "--trace") {
-        Some(p) => PathBuf::from(p),
-        None => return fail("--trace FILE is required"),
-    };
-    let fleet_spec = flag(args, "--fleet").unwrap_or_else(|| "homogeneous:10".into());
     let algo_spec = flag(args, "--algorithm").unwrap_or_else(|| "opt".into());
-
-    let trace = match io::read_trace(&trace_path) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read trace: {e}")),
-    };
-    let types = match parse_fleet(&fleet_spec) {
-        Ok(t) => t,
+    let instance = match load_instance(args) {
+        Ok(i) => i,
         Err(e) => return fail(&e),
     };
-    let cap = fleet::total_capacity(&types);
-    let clipped = trace.peak() > cap;
-    let instance = match Instance::builder()
-        .server_types(types)
-        .loads(trace.capped(cap).into_values())
-        .build()
-    {
-        Ok(i) => i,
-        Err(e) => return fail(&format!("invalid instance: {e}")),
-    };
-    if clipped {
-        eprintln!("warning: trace peak exceeds fleet capacity {cap}; loads were capped");
-    }
 
     let threads = match flag(args, "--threads").as_deref().map(str::parse::<usize>) {
         None => None,
@@ -221,6 +213,163 @@ fn solve_with<O: GtOracle + Sync + Clone>(
     }
     if let Some(out) = flag(args, "--out") {
         if let Err(e) = io::write_schedule(Path::new(&out), &schedule) {
+            return fail(&format!("cannot write schedule: {e}"));
+        }
+        println!("schedule written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Shared trace+fleet loading for `solve` and `simulate`.
+fn load_instance(args: &[String]) -> Result<Instance, String> {
+    let trace_path = flag(args, "--trace").ok_or("--trace FILE is required")?;
+    let fleet_spec = flag(args, "--fleet").unwrap_or_else(|| "homogeneous:10".into());
+    let trace =
+        io::read_trace(Path::new(&trace_path)).map_err(|e| format!("cannot read trace: {e}"))?;
+    let types = parse_fleet(&fleet_spec)?;
+    let cap = fleet::total_capacity(&types);
+    if trace.peak() > cap {
+        eprintln!("warning: trace peak exceeds fleet capacity {cap}; loads were capped");
+    }
+    Instance::builder()
+        .server_types(types)
+        .loads(trace.capped(cap).into_values())
+        .build()
+        .map_err(|e| format!("invalid instance: {e}"))
+}
+
+fn simulate(args: &[String]) -> ExitCode {
+    let instance = match load_instance(args) {
+        Ok(i) => i,
+        Err(e) => return fail(&e),
+    };
+    let algo_spec = match flag(args, "--algo") {
+        Some(a) => a,
+        None => return fail("--algo {a|b|c[:EPS]|lcp|rhc[:W]} is required"),
+    };
+    let online_opts = heterogeneous_rightsizing::online::algo_a::AOptions {
+        engine: has_flag(args, "--engine"),
+        pipeline: has_flag(args, "--pipeline"),
+        ..Default::default()
+    };
+    if has_flag(args, "--cache") {
+        let oracle = CachedDispatcher::new(&instance);
+        let code = simulate_with(&instance, oracle.clone(), &algo_spec, online_opts, args);
+        let s = oracle.stats();
+        if s.hits + s.misses > 0 {
+            println!(
+                "g_t cache:       {} hits / {} misses ({:.1}% hit rate)",
+                s.hits,
+                s.misses,
+                100.0 * s.hit_rate(),
+            );
+        }
+        code
+    } else {
+        simulate_with(&instance, Dispatcher::new(), &algo_spec, online_opts, args)
+    }
+}
+
+/// Build the requested controller, drive it with the instrumented
+/// runner, and print the latency/cost report. Each arm returns the run,
+/// its latency profile, and the engine's pricing counters (when on).
+fn simulate_with<O: GtOracle + Sync + Clone>(
+    instance: &Instance,
+    oracle: O,
+    algo_spec: &str,
+    online_opts: heterogeneous_rightsizing::online::algo_a::AOptions,
+    args: &[String],
+) -> ExitCode {
+    type Stats = heterogeneous_rightsizing::offline::EngineStats;
+    let dp_opts = online_opts.dp_options();
+    let (kind, param) = match algo_spec.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (algo_spec, None),
+    };
+    let (run, profile, stats): (online::OnlineRun, online::LatencyProfile, Option<Stats>) =
+        match (kind, param) {
+            ("a", None) => {
+                let mut a = AlgorithmA::new(instance, oracle.clone(), online_opts);
+                let (run, profile) = online::run_instrumented(instance, &mut a, &oracle);
+                (run, profile, a.engine_stats())
+            }
+            ("b", None) => {
+                let mut b = AlgorithmB::new(instance, oracle.clone(), online_opts);
+                let (run, profile) = online::run_instrumented(instance, &mut b, &oracle);
+                let stats = b.core().prefix().engine_stats();
+                (run, profile, stats)
+            }
+            ("c", param) => {
+                let eps = match param.map(str::parse::<f64>) {
+                    None => 0.5,
+                    Some(Ok(eps)) if eps > 0.0 => eps,
+                    Some(_) => return fail("c:EPS needs a positive EPS"),
+                };
+                let mut c = AlgorithmC::new(
+                    instance,
+                    oracle.clone(),
+                    COptions { epsilon: eps, base: online_opts, ..Default::default() },
+                );
+                let (run, profile) = online::run_instrumented(instance, &mut c, &oracle);
+                let stats = c.engine_stats();
+                (run, profile, stats)
+            }
+            ("lcp", None) => {
+                if instance.num_types() != 1 {
+                    return fail("lcp needs a homogeneous fleet (homogeneous:M)");
+                }
+                let mut l =
+                    LazyCapacityProvisioning::with_options(instance, oracle.clone(), dp_opts);
+                let (run, profile) = online::run_instrumented(instance, &mut l, &oracle);
+                let stats = l.engine_stats();
+                (run, profile, stats)
+            }
+            ("rhc", param) => {
+                let window = match param.map(str::parse::<usize>) {
+                    None => 8,
+                    Some(Ok(w)) if w >= 1 => w,
+                    Some(_) => return fail("rhc:W needs a positive window"),
+                };
+                let mut rhc = RecedingHorizon::new(oracle.clone(), window).with_options(dp_opts);
+                let (run, profile) = online::run_instrumented(instance, &mut rhc, &oracle);
+                let stats = rhc.engine_stats();
+                (run, profile, stats)
+            }
+            _ => return fail(&format!("unknown --algo `{algo_spec}`\n{USAGE}")),
+        };
+    report_simulation(instance, &run, &profile, stats, args)
+}
+
+fn report_simulation(
+    instance: &Instance,
+    run: &online::OnlineRun,
+    profile: &online::LatencyProfile,
+    engine_stats: Option<heterogeneous_rightsizing::offline::EngineStats>,
+    args: &[String],
+) -> ExitCode {
+    if let Err(e) = run.schedule.check_feasible(instance) {
+        return fail(&format!("internal error: produced infeasible schedule: {e}"));
+    }
+    println!("algorithm:       {}", run.name);
+    println!("slots:           {}", instance.horizon());
+    println!("operating cost:  {:.3}", run.breakdown.operating);
+    println!("switching cost:  {:.3}", run.breakdown.switching);
+    println!("total cost:      {:.3}", run.cost());
+    let (p50, p90, p99, max, mean) = profile.summary_us();
+    println!(
+        "decision latency p50 {p50:.1} µs | p90 {p90:.1} µs | p99 {p99:.1} µs | max {max:.1} µs | mean {mean:.1} µs"
+    );
+    if let Some(s) = engine_stats {
+        println!(
+            "engine pricing:  {} slots priced, {} pool hits ({:.1}% hit rate, {} pooled)",
+            s.pricings,
+            s.pool_hits,
+            100.0 * s.hit_rate(),
+            s.pooled_slots,
+        );
+    }
+    if let Some(out) = flag(args, "--out") {
+        if let Err(e) = io::write_schedule(Path::new(&out), &run.schedule) {
             return fail(&format!("cannot write schedule: {e}"));
         }
         println!("schedule written to {out}");

@@ -79,3 +79,88 @@ fn generate_then_solve_round_trip() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn simulate_reports_latency_and_engine_parity() {
+    let dir = std::env::temp_dir().join(format!("rsz-simulate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace: PathBuf = dir.join("trace.csv");
+    let gen = rsz()
+        .args(["generate", "--pattern", "diurnal", "--len", "24", "--peak", "5", "--seed", "11"])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn rsz generate");
+    assert!(gen.status.success(), "generate failed: {}", String::from_utf8_lossy(&gen.stderr));
+
+    let total_line = |s: &str| {
+        s.lines().find(|l| l.starts_with("total cost:")).map(str::to_owned).expect("total line")
+    };
+    // Engine off vs on: identical cost, both with a latency report; the
+    // engine run additionally prints its pricing counters.
+    let mut outputs = Vec::new();
+    for engine in [false, true] {
+        let mut cmd = rsz();
+        cmd.args(["simulate", "--trace", trace.to_str().unwrap()]).args([
+            "--fleet",
+            "cpu-gpu:4,2",
+            "--algo",
+            "c:0.5",
+        ]);
+        if engine {
+            cmd.arg("--engine");
+        }
+        let out = cmd.output().expect("spawn rsz simulate");
+        assert!(
+            out.status.success(),
+            "simulate engine={engine} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(stdout.contains("decision latency"), "missing latency report: {stdout}");
+        assert!(stdout.contains("p99"), "missing percentiles: {stdout}");
+        assert_eq!(stdout.contains("engine pricing:"), engine, "engine stats gating: {stdout}");
+        outputs.push(stdout);
+    }
+    assert_eq!(total_line(&outputs[0]), total_line(&outputs[1]), "--engine changed the cost");
+
+    // LCP requires a homogeneous fleet and says so.
+    let lcp = rsz()
+        .args(["simulate", "--trace", trace.to_str().unwrap()])
+        .args(["--fleet", "cpu-gpu:4,2", "--algo", "lcp"])
+        .output()
+        .expect("spawn rsz simulate lcp");
+    assert!(!lcp.status.success(), "lcp on a heterogeneous fleet must fail");
+    assert!(
+        String::from_utf8_lossy(&lcp.stderr).contains("homogeneous"),
+        "unhelpful lcp error: {}",
+        String::from_utf8_lossy(&lcp.stderr)
+    );
+
+    // LCP on a homogeneous fleet with the engine reports its pricing.
+    let lcp_ok = rsz()
+        .args(["simulate", "--trace", trace.to_str().unwrap()])
+        .args(["--fleet", "homogeneous:6", "--algo", "lcp", "--engine"])
+        .output()
+        .expect("spawn rsz simulate lcp --engine");
+    assert!(
+        lcp_ok.status.success(),
+        "simulate lcp --engine failed: {}",
+        String::from_utf8_lossy(&lcp_ok.stderr)
+    );
+    let lcp_out = String::from_utf8_lossy(&lcp_ok.stdout);
+    assert!(lcp_out.contains("engine pricing:"), "missing LCP engine stats: {lcp_out}");
+
+    // RHC with an explicit window, engine + cache stacked.
+    let rhc = rsz()
+        .args(["simulate", "--trace", trace.to_str().unwrap()])
+        .args(["--fleet", "homogeneous:6", "--algo", "rhc:3", "--engine", "--cache"])
+        .output()
+        .expect("spawn rsz simulate rhc");
+    assert!(rhc.status.success(), "simulate rhc failed: {}", String::from_utf8_lossy(&rhc.stderr));
+    let rhc_out = String::from_utf8_lossy(&rhc.stdout);
+    assert!(rhc_out.contains("RHC(w=3)"), "wrong algorithm banner: {rhc_out}");
+    assert!(rhc_out.contains("engine pricing:"), "missing engine stats: {rhc_out}");
+    assert!(rhc_out.contains("g_t cache:"), "missing cache stats: {rhc_out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

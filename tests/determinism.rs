@@ -107,6 +107,44 @@ fn schedules_identical_across_pipeline_parallelism_and_caching() {
 }
 
 #[test]
+fn online_schedules_identical_across_engine_and_caching() {
+    // The online decision engine matrix: {engine on/off} × {cache
+    // on/off} must commit the SAME schedule for Algorithms A (time-
+    // independent) and B (time-dependent electricity prices). The
+    // engine's pooled sweep pricing carries the documented 1e-9 value
+    // tolerance; the prefix argmin's epsilon tie-break absorbs it.
+    let td = scenario::electricity_market(5, 24, 12, 13);
+    let ti = scenario::diurnal_cpu_gpu(4, 2, 1, 12, 3);
+    let plain = Dispatcher::new();
+    let ref_a = {
+        let mut a = AlgorithmA::new(&ti, plain, AOptions::default());
+        run(&ti, &mut a, &plain)
+    };
+    let ref_b = {
+        let mut b = AlgorithmB::new(&td, plain, AOptions::default());
+        run(&td, &mut b, &plain)
+    };
+    for engine in [false, true] {
+        for cached in [false, true] {
+            let opts = AOptions { engine, ..AOptions::default() };
+            let (got_a, got_b) = if cached {
+                let ca = CachedDispatcher::new(&ti);
+                let cb = CachedDispatcher::new(&td);
+                let mut a = AlgorithmA::new(&ti, ca.clone(), opts);
+                let mut b = AlgorithmB::new(&td, cb.clone(), opts);
+                (run(&ti, &mut a, &ca), run(&td, &mut b, &cb))
+            } else {
+                let mut a = AlgorithmA::new(&ti, plain, opts);
+                let mut b = AlgorithmB::new(&td, plain, opts);
+                (run(&ti, &mut a, &plain), run(&td, &mut b, &plain))
+            };
+            assert_eq!(ref_a.schedule, got_a.schedule, "A engine={engine} cached={cached}");
+            assert_eq!(ref_b.schedule, got_b.schedule, "B engine={engine} cached={cached}");
+        }
+    }
+}
+
+#[test]
 fn online_algorithms_are_deterministic() {
     let inst = scenario::electricity_market(5, 24, 12, 13);
     let oracle = Dispatcher::new();
