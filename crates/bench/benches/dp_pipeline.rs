@@ -201,11 +201,21 @@ fn main() {
             sc.name
         );
         assert!(schedules_equal, "{}: pipeline recovered a different schedule", sc.name);
-        // Performance gate: reference workload, full mode only.
+        // Performance gates: reference workload ≥ 2×, and the pure
+        // time-dependent scenario must never lose to the cached
+        // baseline (RecoveryMode::Auto materializes the non-poolable
+        // corner instead of paying the replay) — full mode only.
         if sc.gated && !quick {
             assert!(
                 speedup >= 2.0,
                 "{}: pipeline speedup {speedup:.2}x below the 2x gate",
+                sc.name
+            );
+        }
+        if sc.name == "time_dependent_costs" && !quick {
+            assert!(
+                speedup >= 1.0,
+                "{}: pipeline regressed below the cached baseline ({speedup:.2}x)",
                 sc.name
             );
         }

@@ -56,6 +56,16 @@ pub trait GtOracle {
         Box::new(ForwardingSlotEval { oracle: self, instance, t, lambda, cost_scale })
     }
 
+    /// `true` if repeated queries for the same `(t, λ, x)` are answered
+    /// from a memo (cache hits) rather than re-solved — the property a
+    /// checkpointed solver needs to know **up front**: replaying a
+    /// segment against a memoizing oracle costs lookups, while replaying
+    /// against a plain solver re-pays the full pricing. The default is
+    /// `false` (plain solvers); memoization wrappers override it.
+    fn is_memoizing(&self) -> bool {
+        false
+    }
+
     /// Like [`GtOracle::slot_eval`], but the caller promises to price the
     /// slot's configurations as a **sweep**: consecutive [`SlotEval::eval`]
     /// calls walk the grid in layout order, each configuration a close

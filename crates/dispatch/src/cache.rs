@@ -253,6 +253,12 @@ impl GtOracle for CachedDispatcher {
         cost_scale * self.cached_g(instance, t, x, lambda)
     }
 
+    // Replaying a slot against this oracle costs hash lookups, not
+    // dispatch solves — checkpointed recovery may replay freely.
+    fn is_memoizing(&self) -> bool {
+        true
+    }
+
     // `slot_sweep` deliberately keeps its default (= `slot_eval`): the
     // cache's contract is bit-identity with the cold `Dispatcher`, and a
     // warm-started miss would store a value that depends on which sweep

@@ -9,6 +9,7 @@ use rsz_core::{GtOracle, Instance};
 
 use crate::dp::{solve, DpOptions, DpResult};
 use crate::grid::GridMode;
+use crate::refine::RefineOptions;
 
 /// Result of an approximate solve, carrying the proven guarantee.
 #[derive(Clone, Debug)]
@@ -52,6 +53,15 @@ pub fn approximate_opts(
 }
 
 /// Approximate with an explicit grid mode (e.g. a direct `γ`).
+///
+/// Composes with the corridor solver: when `options.refine` is set, the
+/// refinement's fine target is re-pointed at this γ-grid **and forced
+/// into exact mode**, so the solve runs coarse-to-fine *onto the
+/// reduced grid*, is schedule-identical to the unrestricted γ-grid DP,
+/// and the reported `guarantee` stays truthful. (An epsilon early-stop
+/// on a γ-grid target would carry neither factor: the coarse trajectory
+/// need not lie on the reduced grid, so the Theorem-21 argument does
+/// not compose — hence the override.)
 #[must_use]
 pub fn approximate_with_mode(
     instance: &Instance,
@@ -65,7 +75,8 @@ pub fn approximate_with_mode(
     };
     let grid_cells =
         (0..instance.num_types()).map(|j| grid.levels(instance.server_count(0, j)).len()).product();
-    let result = solve(instance, oracle, DpOptions { grid, ..options });
+    let refine = options.refine.map(|r| RefineOptions { epsilon: None, ..r.with_target(grid) });
+    let result = solve(instance, oracle, DpOptions { grid, refine, ..options });
     ApproxResult { result, gamma, guarantee: grid.approximation_factor(), grid_cells }
 }
 

@@ -67,6 +67,16 @@ pub struct DpOptions {
     /// replay (`O(|grid|·√T)` memory, up to one extra pricing pass) vs
     /// fully materialized tables (`O(|grid|·T)` memory, single pass).
     pub recovery: RecoveryMode,
+    /// `Some`: route [`solve`] through the coarse-to-fine **corridor
+    /// solver** ([`crate::refine`]) — a cheap `Γ(γ₀)` coarse solve
+    /// localizes the optimum, the DP then runs on per-slot bands of the
+    /// fine grid only, and an exactness-guarded expansion fixpoint
+    /// iterates until the banded optimum touches no band boundary. The
+    /// fine grid is [`crate::refine::RefineOptions::target`] (which
+    /// overrides `grid` for the fine passes); schedules are identical to
+    /// the unrestricted solve's (property-tested) while per-slot work
+    /// scales with band volume instead of grid volume.
+    pub refine: Option<crate::refine::RefineOptions>,
 }
 
 /// Schedule-recovery policy of [`solve`].
@@ -74,7 +84,12 @@ pub struct DpOptions {
 pub enum RecoveryMode {
     /// Materialize below [`crate::pipeline::CHECKPOINT_MIN_HORIZON`]
     /// slots, checkpoint beyond — replay only kicks in where the
-    /// `O(|grid|·T)` table memory starts to matter.
+    /// `O(|grid|·T)` table memory starts to matter. When **nothing**
+    /// would make the replay cheap (time-dependent costs, so the
+    /// pricing pool cannot share slots, *and* a non-memoizing oracle),
+    /// materialization extends up to
+    /// [`crate::pipeline::AUTO_MATERIALIZE_BUDGET_BYTES`] of table
+    /// memory, so checkpointing never doubles the pricing for free.
     #[default]
     Auto,
     /// Always keep every `OPT_t` table: one pass, maximum memory. The
@@ -95,6 +110,7 @@ impl Default for DpOptions {
             threads: None,
             engine: false,
             recovery: RecoveryMode::Auto,
+            refine: None,
         }
     }
 }
@@ -110,6 +126,17 @@ impl DpOptions {
     #[must_use]
     pub fn engined() -> Self {
         Self { engine: true, ..Self::default() }
+    }
+
+    /// The default options with exact corridor refinement (and the
+    /// pipeline, which prices its coarse pass) switched on.
+    #[must_use]
+    pub fn refined() -> Self {
+        Self {
+            pipeline: true,
+            refine: Some(crate::refine::RefineOptions::exact()),
+            ..Self::default()
+        }
     }
 
     /// Resolve the worker count for a fill over `cells` table cells:
@@ -144,33 +171,49 @@ pub struct DpResult {
 /// instead of `O(|grid|·T)` — see [`crate::pipeline`] and
 /// [`solve_with_stats`] for the observable accounting.
 ///
+/// With [`DpOptions::refine`] set, the solve instead runs the
+/// coarse-to-fine corridor solver ([`crate::refine::solve_refined`]) —
+/// same schedule, banded work.
+///
 /// # Panics
 /// Panics if the instance is infeasible (cannot happen for instances
 /// built through [`Instance::builder`], which validates feasibility).
 #[must_use]
 pub fn solve(instance: &Instance, oracle: &(impl GtOracle + Sync), options: DpOptions) -> DpResult {
+    if options.refine.is_some() {
+        return crate::refine::solve_refined(instance, oracle, options).0;
+    }
     crate::pipeline::solve_checkpointed(instance, oracle, options).0
 }
 
 /// [`solve`] returning the recovery memory accounting alongside the
-/// result (checkpoint count, segment length, peak live tables).
+/// result (checkpoint count, segment length, peak live tables). This
+/// entry point measures the checkpointed-recovery machinery, so
+/// [`DpOptions::refine`] is ignored here — refined solves report
+/// through [`crate::refine::solve_refined`]'s own
+/// [`crate::refine::RefineStats`] instead.
 #[must_use]
 pub fn solve_with_stats(
     instance: &Instance,
     oracle: &(impl GtOracle + Sync),
     options: DpOptions,
 ) -> (DpResult, crate::pipeline::RecoveryStats) {
-    crate::pipeline::solve_checkpointed(instance, oracle, options)
+    crate::pipeline::solve_checkpointed(instance, oracle, DpOptions { refine: None, ..options })
 }
 
 /// Optimal cost only, O(|grid|) memory for the legacy path and
-/// `O(|grid|·batch)` for the pipeline (no schedule recovery).
+/// `O(|grid|·batch)` for the pipeline (no schedule recovery; the
+/// corridor solver still recovers internally — its contact check needs
+/// the trajectory).
 #[must_use]
 pub fn solve_cost_only(
     instance: &Instance,
     oracle: &(impl GtOracle + Sync),
     options: DpOptions,
 ) -> f64 {
+    if options.refine.is_some() {
+        return crate::refine::solve_refined(instance, oracle, options).0.cost;
+    }
     crate::pipeline::cost_only(instance, oracle, options)
 }
 

@@ -35,6 +35,7 @@
 //! order, so the oldest priced slot is also the least likely to recur).
 
 use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
 use std::sync::Arc;
 
 use rsz_core::{GtOracle, Instance};
@@ -58,6 +59,9 @@ pub struct EngineStats {
     pub pricings: u64,
     /// Steps answered from the pool without any oracle call.
     pub pool_hits: u64,
+    /// Banded requests answered by slicing a retained full-grid slot
+    /// (no oracle call; counted in `pool_hits` as well).
+    pub slice_hits: u64,
     /// Priced slots currently retained.
     pub pooled_slots: usize,
 }
@@ -77,12 +81,17 @@ impl EngineStats {
 
 /// Key of a retained priced slot. `slot` is 0 for time-independent
 /// instances (all slots share one partition) and the slot index
-/// otherwise; `grid` packs the slot's fleet sizes mixed-radix.
+/// otherwise; `grid` packs the slot's fleet sizes mixed-radix; `band`
+/// packs the per-dimension position sub-ranges of a banded pricing
+/// (`0` = whole grid — a real band always packs nonzero because every
+/// range end is ≥ 1). Corridor-banded solvers and full-grid steppers
+/// therefore share one pool without ever aliasing.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 struct PoolKey {
     slot: u32,
     lambda: u64,
     grid: u128,
+    band: u128,
 }
 
 /// A bounded pool of [`PricedSlot`]s for one instance shape.
@@ -94,6 +103,11 @@ pub struct PricedSlotPool {
     /// Mixed-radix strides over the horizon-max fleet sizes, plus the
     /// per-type bounds for validity checks against foreign instances.
     strides: Vec<u128>,
+    /// Strides for packing band position ranges (radix `m_j + 2` per
+    /// endpoint — positions run `0..=m_j+1`); `None` when the product
+    /// overflows `u128`, in which case banded requests are priced
+    /// without pooling.
+    band_strides: Option<Vec<u128>>,
     max_counts: Vec<u32>,
     entries: HashMap<PoolKey, PricedSlot>,
     /// Insertion order for FIFO eviction.
@@ -101,6 +115,7 @@ pub struct PricedSlotPool {
     cap: usize,
     pricings: u64,
     hits: u64,
+    slice_hits: u64,
 }
 
 impl PricedSlotPool {
@@ -127,15 +142,32 @@ impl PricedSlotPool {
                 .checked_mul(radix)
                 .expect("fleet sizes too large to index into the priced-slot pool");
         }
+        // Band packing needs two endpoints per dimension, each < m_j + 2;
+        // overflow just disables band pooling (requests still price).
+        let band_strides = {
+            let mut bs = vec![1u128; d];
+            let mut product = Some(1u128);
+            for j in (0..d).rev() {
+                bs[j] = match product {
+                    Some(p) => p,
+                    None => break,
+                };
+                let radix = u128::from(max_counts[j]) + 2;
+                product = radix.checked_mul(radix).and_then(|r2| bs[j].checked_mul(r2));
+            }
+            product.map(|_| bs)
+        };
         Self {
             slot_shared: instance.is_time_independent(),
             strides,
+            band_strides,
             max_counts,
             entries: HashMap::new(),
             order: VecDeque::new(),
             cap: cap.max(1),
             pricings: 0,
             hits: 0,
+            slice_hits: 0,
         }
     }
 
@@ -151,16 +183,24 @@ impl PricedSlotPool {
         EngineStats {
             pricings: self.pricings,
             pool_hits: self.hits,
+            slice_hits: self.slice_hits,
             pooled_slots: self.entries.len(),
         }
     }
 
-    /// The pool key for slot `t` priced at volume `lambda`, or `None`
-    /// when the slot's fleet sizes exceed the bounds the pool was built
-    /// with (possible only when a pool was initialized against a
-    /// truncated instance of a fleet that later grows — such slots are
-    /// priced without pooling rather than risking key aliasing).
-    fn key(&self, instance: &Instance, t: usize, lambda: f64) -> Option<PoolKey> {
+    /// The pool key for slot `t` priced at volume `lambda` over the
+    /// optional position `bands`, or `None` when the slot's fleet sizes
+    /// exceed the bounds the pool was built with (possible only when a
+    /// pool was initialized against a truncated instance of a fleet that
+    /// later grows — such slots are priced without pooling rather than
+    /// risking key aliasing) or when band packing is unavailable.
+    fn key(
+        &self,
+        instance: &Instance,
+        t: usize,
+        lambda: f64,
+        bands: Option<&[Range<usize>]>,
+    ) -> Option<PoolKey> {
         let mut grid = 0u128;
         for (j, (&stride, &max)) in self.strides.iter().zip(&self.max_counts).enumerate() {
             let m = instance.server_count(t, j);
@@ -169,8 +209,23 @@ impl PricedSlotPool {
             }
             grid += u128::from(m) * stride;
         }
+        let band = match bands {
+            None => 0u128,
+            Some(ranges) => {
+                let bs = self.band_strides.as_ref()?;
+                let mut sig = 0u128;
+                for (j, (r, &stride)) in ranges.iter().zip(bs).enumerate() {
+                    let radix = u128::from(self.max_counts[j]) + 2;
+                    if r.end as u128 >= radix {
+                        return None;
+                    }
+                    sig += (r.start as u128 * radix + r.end as u128) * stride;
+                }
+                sig
+            }
+        };
         let slot = if self.slot_shared { 0 } else { u32::try_from(t).ok()? };
-        Some(PoolKey { slot, lambda: lambda.to_bits(), grid })
+        Some(PoolKey { slot, lambda: lambda.to_bits(), grid, band })
     }
 
     /// The priced slot for `(t, λ)` over `levels`, from the pool or by
@@ -184,7 +239,7 @@ impl PricedSlotPool {
         lambda: f64,
         levels: &[Vec<u32>],
     ) -> PricedSlot {
-        let key = self.key(instance, t, lambda);
+        let key = self.key(instance, t, lambda, None);
         if let Some(key) = key {
             if let Some(slot) = self.entries.get(&key) {
                 debug_assert_eq!(
@@ -199,15 +254,81 @@ impl PricedSlotPool {
         let priced = Arc::new(price_slot(instance, oracle, t, lambda, levels));
         self.pricings += 1;
         if let Some(key) = key {
-            if self.entries.len() >= self.cap {
-                if let Some(oldest) = self.order.pop_front() {
-                    self.entries.remove(&oldest);
-                }
-            }
-            self.entries.insert(key, Arc::clone(&priced));
-            self.order.push_back(key);
+            self.retain(key, Arc::clone(&priced));
         }
         priced
+    }
+
+    /// The priced slot for `(t, λ)` restricted to the per-dimension
+    /// position `bands` of `fine_levels` — the banded entry point of the
+    /// corridor refiner and RHC's warm-started windows. Resolution
+    /// order:
+    ///
+    /// 1. a retained entry under the same band signature (pure hit);
+    /// 2. a retained **full-grid** entry for the same `(t, λ, grid)`,
+    ///    answered as a sliced view ([`Table::band_slice`], no oracle
+    ///    call) and retained under the band key for next time;
+    /// 3. one warm sweep over just the band cells, retained under the
+    ///    band key.
+    ///
+    /// Full-range bands collapse to [`PricedSlotPool::get_or_price`], so
+    /// banded and unbanded callers share entries instead of duplicating
+    /// them.
+    pub fn get_or_price_band(
+        &mut self,
+        instance: &Instance,
+        oracle: &(impl GtOracle + ?Sized),
+        t: usize,
+        lambda: f64,
+        fine_levels: &[Vec<u32>],
+        bands: &[Range<usize>],
+    ) -> PricedSlot {
+        debug_assert_eq!(bands.len(), fine_levels.len());
+        if bands.iter().zip(fine_levels).all(|(b, l)| b.start == 0 && b.end == l.len()) {
+            return self.get_or_price(instance, oracle, t, lambda, fine_levels);
+        }
+        let key = self.key(instance, t, lambda, Some(bands));
+        if let Some(k) = key {
+            if let Some(slot) = self.entries.get(&k) {
+                debug_assert!(
+                    slot.all_levels()
+                        .iter()
+                        .zip(bands.iter().zip(fine_levels))
+                        .all(|(sl, (b, l))| sl[..] == l[b.start..b.end]),
+                    "pool key collision: same band key, different grid"
+                );
+                self.hits += 1;
+                return Arc::clone(slot);
+            }
+            let full = self.key(instance, t, lambda, None).and_then(|fk| self.entries.get(&fk));
+            if let Some(full) = full {
+                debug_assert_eq!(full.all_levels(), fine_levels, "pool key collision");
+                let sliced = Arc::new(full.band_slice(bands));
+                self.hits += 1;
+                self.slice_hits += 1;
+                self.retain(k, Arc::clone(&sliced));
+                return sliced;
+            }
+        }
+        let banded_levels: Vec<Vec<u32>> =
+            bands.iter().zip(fine_levels).map(|(b, l)| l[b.start..b.end].to_vec()).collect();
+        let priced = Arc::new(price_slot(instance, oracle, t, lambda, &banded_levels));
+        self.pricings += 1;
+        if let Some(k) = key {
+            self.retain(k, Arc::clone(&priced));
+        }
+        priced
+    }
+
+    /// Insert under FIFO eviction.
+    fn retain(&mut self, key: PoolKey, slot: PricedSlot) {
+        if self.entries.len() >= self.cap {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(key, slot);
+        self.order.push_back(key);
     }
 }
 
@@ -351,6 +472,61 @@ mod tests {
         assert_eq!(pool.stats().pool_hits, 1);
         let _ = pool.get_or_price(&inst, &oracle, 0, inst.load(0), &levels);
         assert_eq!(pool.stats().pricings, 5, "evicted slot re-priced");
+    }
+
+    #[test]
+    fn banded_requests_slice_retained_full_slots() {
+        let inst = ti_instance();
+        let oracle = Dispatcher::new();
+        let mut pool = PricedSlotPool::new(&inst);
+        let levels = full_levels(&inst, 0);
+        let full = pool.get_or_price(&inst, &oracle, 0, inst.load(0), &levels);
+        let bands = vec![1..3usize, 0..2usize];
+        // First banded request: answered by slicing the retained full
+        // pricing — no oracle sweep.
+        let sliced = pool.get_or_price_band(&inst, &oracle, 0, inst.load(0), &levels, &bands);
+        let s = pool.stats();
+        assert_eq!(s.pricings, 1, "slice must not re-price");
+        assert_eq!(s.slice_hits, 1);
+        assert_eq!(sliced.all_levels(), full.band_slice(&bands).all_levels());
+        for (i, (&a, &b)) in
+            sliced.values().iter().zip(full.band_slice(&bands).values()).enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "cell {i}");
+        }
+        // Second identical banded request: a direct hit on the band key.
+        let again = pool.get_or_price_band(&inst, &oracle, 0, inst.load(0), &levels, &bands);
+        assert!(Arc::ptr_eq(&sliced, &again));
+        assert_eq!(pool.stats().slice_hits, 1, "second request is a plain hit");
+        // Full-range bands collapse to the unbanded entry.
+        let all = vec![0..levels[0].len(), 0..levels[1].len()];
+        let whole = pool.get_or_price_band(&inst, &oracle, 0, inst.load(0), &levels, &all);
+        assert!(Arc::ptr_eq(&whole, &full));
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // a 1-d grid's band list IS one range
+    fn banded_pricing_without_full_entry_sweeps_band_cells_only() {
+        let inst = td_instance();
+        let oracle = Dispatcher::new();
+        let mut pool = PricedSlotPool::new(&inst);
+        let levels = full_levels(&inst, 1);
+        let bands = vec![2..4usize];
+        let banded = pool.get_or_price_band(&inst, &oracle, 1, inst.load(1), &levels, &bands);
+        assert_eq!(pool.stats().pricings, 1);
+        assert_eq!(banded.len(), 2, "only the band cells were priced");
+        assert_eq!(banded.all_levels(), &[vec![2, 3]]);
+        // Values match a full pricing's slice to the sweep tolerance.
+        let full = price_slot(&inst, &oracle, 1, inst.load(1), &levels);
+        for (i, (&a, &b)) in
+            banded.values().iter().zip(full.band_slice(&bands).values()).enumerate()
+        {
+            assert!((a == b) || (a - b).abs() <= 1e-9 * b.abs().max(1.0), "cell {i}: {a} vs {b}");
+        }
+        // Different bands on the same slot key separately — no aliasing.
+        let other = pool.get_or_price_band(&inst, &oracle, 1, inst.load(1), &levels, &[0..3]);
+        assert_eq!(pool.stats().pricings, 2);
+        assert_eq!(other.len(), 3);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Candidate grids: the full range `{0, …, m_j}` and the paper's reduced
-//! sets `M^γ_j` (Section 4.2).
+//! sets `M^γ_j` (Section 4.2), plus the mixed-radix index math shared by
+//! every table walker ([`GridCursor`]).
+
+use std::ops::Range;
 
 /// How the DP discretizes the number of active servers per type.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,6 +99,139 @@ pub fn fill_gamma_levels(m: u32, gamma: f64, levels: &mut Vec<u32>) {
     levels.push(m);
     levels.sort_unstable();
     levels.dedup();
+}
+
+/// Mixed-radix cursor over a grid's per-dimension levels, last dimension
+/// fastest — an odometer that exposes the current cell's server counts
+/// as a borrowed slice. Shared by the DP fill loops, the pricing
+/// pipeline, backtracking and the corridor refiner so none of them
+/// allocate (or run div/mod chains) per cell.
+///
+/// Strides are memoized at construction, so repositioning
+/// ([`GridCursor::seek`]) and full-layout indexing
+/// ([`GridCursor::flat_index`]) never recompute the radix products —
+/// this is the one place in the crate that decomposes flat indices.
+#[derive(Clone, Debug)]
+pub struct GridCursor<'a> {
+    levels: &'a [Vec<u32>],
+    /// Memoized mixed-radix strides (last dimension has stride 1).
+    strides: Vec<usize>,
+    pos: Vec<usize>,
+    counts: Vec<u32>,
+}
+
+impl<'a> GridCursor<'a> {
+    /// Cursor positioned at flat index `idx` of the grid `levels` (levels
+    /// lists must be non-empty; `idx` may equal the grid size, in which
+    /// case the cursor wraps to the origin like [`GridCursor::advance`]).
+    #[must_use]
+    pub fn new(levels: &'a [Vec<u32>], idx: usize) -> Self {
+        let d = levels.len();
+        let mut strides = vec![1usize; d];
+        for j in (0..d.saturating_sub(1)).rev() {
+            strides[j] = strides[j + 1] * levels[j + 1].len();
+        }
+        let mut cursor = Self { levels, strides, pos: vec![0usize; d], counts: vec![0u32; d] };
+        cursor.seek(idx);
+        cursor
+    }
+
+    /// Reposition at flat index `idx` (wrapping past the end), reusing
+    /// the memoized strides.
+    pub fn seek(&mut self, idx: usize) {
+        for j in 0..self.levels.len() {
+            let p = (idx / self.strides[j]) % self.levels[j].len();
+            self.pos[j] = p;
+            self.counts[j] = self.levels[j][p];
+        }
+    }
+
+    /// Server counts of the current cell.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Per-dimension level positions of the current cell.
+    #[must_use]
+    pub fn positions(&self) -> &[usize] {
+        &self.pos
+    }
+
+    /// Total server count of the current cell.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Flat index of the current cell in the grid's own layout, from the
+    /// memoized strides.
+    #[must_use]
+    pub fn flat_index(&self) -> usize {
+        self.pos.iter().zip(&self.strides).map(|(&p, &s)| p * s).sum()
+    }
+
+    /// Step to the next cell in layout order (wrapping at the end),
+    /// updating only the dimensions whose position changed.
+    pub fn advance(&mut self) {
+        for j in (0..self.pos.len()).rev() {
+            self.pos[j] += 1;
+            if self.pos[j] < self.levels[j].len() {
+                self.counts[j] = self.levels[j][self.pos[j]];
+                return;
+            }
+            self.pos[j] = 0;
+            self.counts[j] = self.levels[j][0];
+        }
+    }
+
+    /// Band-aware stepping: advance to the next cell whose per-dimension
+    /// positions stay inside `bands[j]` (half-open position ranges into
+    /// this cursor's level lists), wrapping each dimension at its band
+    /// edge instead of the grid edge. The cursor must already sit inside
+    /// the bands; walking `Π_j bands[j].len()` steps visits every band
+    /// cell exactly once in band-layout order while
+    /// [`GridCursor::flat_index`] keeps reporting full-layout indices —
+    /// this is how banded tables are sliced out of full tables without
+    /// re-deriving positions per cell.
+    pub fn advance_within(&mut self, bands: &[Range<usize>]) {
+        debug_assert_eq!(bands.len(), self.pos.len());
+        for j in (0..self.pos.len()).rev() {
+            self.pos[j] += 1;
+            if self.pos[j] < bands[j].end {
+                self.counts[j] = self.levels[j][self.pos[j]];
+                return;
+            }
+            self.pos[j] = bands[j].start;
+            self.counts[j] = self.levels[j][self.pos[j]];
+        }
+    }
+
+    /// Position the cursor at the band origin (each dimension at
+    /// `bands[j].start`).
+    pub fn seek_band_origin(&mut self, bands: &[Range<usize>]) {
+        debug_assert_eq!(bands.len(), self.pos.len());
+        for (j, band) in bands.iter().enumerate() {
+            debug_assert!(band.start < band.end && band.end <= self.levels[j].len());
+            self.pos[j] = band.start;
+            self.counts[j] = self.levels[j][band.start];
+        }
+    }
+}
+
+/// Decode flat index `idx` of the grid `levels` into per-dimension
+/// server counts, written into `out` (cleared and resized in place — no
+/// allocation once `out` has reached capacity `d`). The counterpart of
+/// [`GridCursor`] for one-off decodes on hot paths that must stay
+/// allocation-free, e.g. the online prefix solver's argmin counts.
+pub fn decode_counts(levels: &[Vec<u32>], mut idx: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(levels.len(), 0);
+    for (j, l) in levels.iter().enumerate().rev() {
+        let n = l.len();
+        out[j] = l[idx % n];
+        idx /= n;
+    }
 }
 
 /// Verify the defining property of a level set: consecutive positive
@@ -213,6 +349,50 @@ mod tests {
         assert_eq!(level_at_least(&l, 0), Some(0));
         assert_eq!(level_at_most(&l, 7), Some(4));
         assert_eq!(level_at_most(&l, 0), Some(0));
+    }
+
+    #[test]
+    fn cursor_seek_and_flat_index_round_trip() {
+        let levels = vec![vec![0u32, 1, 2], vec![0u32, 1], vec![0u32, 1, 2, 3]];
+        let mut cursor = GridCursor::new(&levels, 0);
+        for idx in 0..24 {
+            cursor.seek(idx);
+            assert_eq!(cursor.flat_index(), idx);
+            let want = [(idx / 8) % 3, (idx / 4) % 2, idx % 4];
+            assert_eq!(cursor.positions(), &want);
+        }
+        // Wrapping construction parity with seek.
+        let wrapped = GridCursor::new(&levels, 24);
+        assert_eq!(wrapped.positions(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn banded_advance_visits_exactly_the_band_cells() {
+        let levels = vec![vec![0u32, 1, 2, 3], vec![10u32, 20, 30]];
+        let bands = vec![1..3usize, 0..2usize];
+        let mut cursor = GridCursor::new(&levels, 0);
+        cursor.seek_band_origin(&bands);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push((cursor.flat_index(), cursor.counts().to_vec()));
+            cursor.advance_within(&bands);
+        }
+        assert_eq!(
+            seen,
+            vec![(3, vec![1, 10]), (4, vec![1, 20]), (6, vec![2, 10]), (7, vec![2, 20]),]
+        );
+        // Wrapped back to the band origin, not the grid origin.
+        assert_eq!(cursor.positions(), &[1, 0]);
+    }
+
+    #[test]
+    fn decode_counts_matches_cursor() {
+        let levels = vec![vec![0u32, 2, 5], vec![1u32, 3]];
+        let mut out = Vec::new();
+        for idx in 0..6 {
+            decode_counts(&levels, idx, &mut out);
+            assert_eq!(out.as_slice(), GridCursor::new(&levels, idx).counts(), "idx {idx}");
+        }
     }
 
     #[test]

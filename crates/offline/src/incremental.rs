@@ -230,15 +230,10 @@ impl PrefixDp {
         self.levels_cached = self.slot_invariant;
     }
 
-    /// Decode the counts of flat cell `idx` into the persistent buffer.
-    fn fill_counts(&mut self, mut idx: usize) {
-        self.counts.clear();
-        for j in 0..self.table.dims() {
-            let stride = self.table.stride(j);
-            let p = idx / stride;
-            idx %= stride;
-            self.counts.push(self.table.levels(j)[p]);
-        }
+    /// Decode the counts of flat cell `idx` into the persistent buffer
+    /// (the crate-shared mixed-radix decode; allocation-free once warm).
+    fn fill_counts(&mut self, idx: usize) {
+        crate::grid::decode_counts(self.table.all_levels(), idx, &mut self.counts);
     }
 }
 

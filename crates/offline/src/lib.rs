@@ -27,6 +27,12 @@
 //! * [`engine`] — the online decision engine's pricing layer: whole-grid
 //!   `g_t` tables priced once via the warm-started sweep path and
 //!   retained in a bounded `(slot partition, λ, grid)` pool.
+//! * [`refine`] — the coarse-to-fine **corridor solver**: a cheap
+//!   `Γ(γ₀)` coarse solve localizes the optimum, the DP then runs on
+//!   per-slot bands of the fine grid only, and an exactness-guarded
+//!   expansion fixpoint re-solves until the banded optimum touches no
+//!   band boundary (schedules identical to unrestricted solves,
+//!   property-tested; a `(1+ε)` early-stop mode reuses Theorem 21).
 //! * [`relax`] — the fractional relaxation via server subdivision, for
 //!   integrality-gap measurements against the prior fractional work.
 //! * [`brute`] — exhaustive enumeration for tiny instances (test oracle).
@@ -42,6 +48,7 @@ pub mod grid;
 pub mod incremental;
 pub mod parallel;
 pub mod pipeline;
+pub mod refine;
 pub mod relax;
 pub mod rounding;
 pub mod table;
@@ -54,4 +61,5 @@ pub use graph::{solve as solve_graph, GraphResult};
 pub use grid::GridMode;
 pub use incremental::PrefixDp;
 pub use pipeline::RecoveryStats;
+pub use refine::{solve_refined, RefineOptions, RefineStats};
 pub use table::Table;

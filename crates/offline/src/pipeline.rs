@@ -294,6 +294,39 @@ impl<'a, O: GtOracle + Sync> Engine<'a, O> {
 /// overrides this cutoff in either direction.
 pub const CHECKPOINT_MIN_HORIZON: usize = 257;
 
+/// Table-memory budget under which [`crate::dp::RecoveryMode::Auto`]
+/// materializes even beyond [`CHECKPOINT_MIN_HORIZON`] when **nothing
+/// would make the recovery replay cheap** — the instance's costs are
+/// time-dependent (so the pipeline's `(λ, grid)` pricing pool cannot
+/// share slots) *and* the oracle does not memoize
+/// ([`GtOracle::is_memoizing`]). In that corner, checkpointing pays the
+/// full pricing twice, which is exactly how the pipeline used to lose
+/// to the cached baseline on pure time-dependent workloads; detecting
+/// the non-poolable combination up front keeps it strictly a win.
+pub const AUTO_MATERIALIZE_BUDGET_BYTES: u64 = 64 << 20;
+
+/// `true` if the Auto policy should materialize the whole horizon for
+/// this solve: short horizon, or a non-poolable slot stream (see
+/// [`AUTO_MATERIALIZE_BUDGET_BYTES`]) whose tables fit the budget.
+fn auto_materializes(
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    options: DpOptions,
+) -> bool {
+    let horizon = instance.horizon();
+    if horizon < CHECKPOINT_MIN_HORIZON {
+        return true;
+    }
+    if instance.is_time_independent() || oracle.is_memoizing() {
+        return false;
+    }
+    let max_counts = instance.max_counts();
+    let cells: u64 = (0..instance.num_types())
+        .map(|j| options.grid.levels(max_counts[j]).len() as u64)
+        .product();
+    cells.saturating_mul(horizon as u64).saturating_mul(8) <= AUTO_MATERIALIZE_BUDGET_BYTES
+}
+
 /// Checkpointed offline solve: forward pass storing `√T` checkpoints,
 /// recovery replaying one segment at a time (horizons below
 /// [`CHECKPOINT_MIN_HORIZON`] materialize a single full segment with no
@@ -314,7 +347,7 @@ pub fn solve_checkpointed(
     let materialize = match options.recovery {
         crate::dp::RecoveryMode::Materialized => true,
         crate::dp::RecoveryMode::Checkpointed => false,
-        crate::dp::RecoveryMode::Auto => horizon < CHECKPOINT_MIN_HORIZON,
+        crate::dp::RecoveryMode::Auto => auto_materializes(instance, oracle, options),
     };
     #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
     let k = if materialize { horizon } else { ((horizon as f64).sqrt().ceil() as usize).max(1) };

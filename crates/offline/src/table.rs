@@ -6,7 +6,11 @@
 //! `M^γ_j` (Section 4.2). Values are stored in row-major (C) order with the
 //! **last** dimension fastest.
 
+use std::ops::Range;
+
 use rsz_core::Config;
+
+pub use crate::grid::GridCursor;
 
 /// Sorted candidate counts per dimension plus a flat value array.
 #[derive(Clone, Debug)]
@@ -133,23 +137,17 @@ impl Table {
         pos.iter().zip(&self.strides).map(|(&p, &s)| p * s).sum()
     }
 
-    /// Decompose a flat index into per-dimension positions.
+    /// Decompose a flat index into per-dimension positions (a one-off
+    /// [`GridCursor::seek`]; hot loops advance a cursor instead).
     #[must_use]
-    pub fn positions_of(&self, mut idx: usize) -> Vec<usize> {
-        let mut pos = vec![0; self.dims()];
-        #[allow(clippy::needless_range_loop)] // j indexes pos and strides together
-        for j in 0..self.dims() {
-            pos[j] = idx / self.strides[j];
-            idx %= self.strides[j];
-        }
-        pos
+    pub fn positions_of(&self, idx: usize) -> Vec<usize> {
+        self.cursor(idx).positions().to_vec()
     }
 
     /// The server configuration of a flat index.
     #[must_use]
     pub fn config_of(&self, idx: usize) -> Config {
-        let pos = self.positions_of(idx);
-        Config::new(pos.iter().enumerate().map(|(j, &p)| self.levels[j][p]).collect())
+        Config::new(self.cursor(idx).counts().to_vec())
     }
 
     /// Flat index of a configuration, if every count is on the grid.
@@ -173,8 +171,12 @@ impl Table {
     }
 
     /// Total server count of the configuration at a flat index, computed
-    /// arithmetically — no intermediate `Vec` (hot inside `argmin` and
-    /// backtracking tie-breaks).
+    /// arithmetically — no intermediate `Vec`. This is the one indexed
+    /// decode [`crate::grid::GridCursor`] does not subsume: it backs the
+    /// *lazy* tie-break of [`Table::argmin`], which only fires for
+    /// candidates inside the tie window, where keeping a cursor would
+    /// force an allocation per call on the online engine's
+    /// zero-allocation stepping path.
     #[must_use]
     pub fn total_count(&self, mut idx: usize) -> u64 {
         let mut total = 0u64;
@@ -234,60 +236,28 @@ impl Table {
             (i, cfg)
         })
     }
-}
-
-/// Mixed-radix cursor over a grid's per-dimension levels, last dimension
-/// fastest — an odometer that exposes the current cell's server counts
-/// as a borrowed slice. Shared by the DP fill loops, the pricing
-/// pipeline and backtracking so none of them allocate per cell.
-#[derive(Clone, Debug)]
-pub struct GridCursor<'a> {
-    levels: &'a [Vec<u32>],
-    pos: Vec<usize>,
-    counts: Vec<u32>,
-}
-
-impl<'a> GridCursor<'a> {
-    /// Cursor positioned at flat index `idx` of the grid `levels` (levels
-    /// lists must be non-empty; `idx` may equal the grid size, in which
-    /// case the cursor wraps to the origin like [`GridCursor::advance`]).
+    /// A new table over the per-dimension *position* sub-ranges `bands`
+    /// of this table's grid, copying the banded cells — the sliced view
+    /// the corridor refiner and the priced-slot pool carve out of
+    /// full-grid tables. The walk advances one band-aware [`GridCursor`]
+    /// (`advance_within`), so no cell decomposes its flat index.
+    ///
+    /// # Panics
+    /// Panics (via debug assertions) if a band is empty or exceeds its
+    /// dimension's length.
     #[must_use]
-    pub fn new(levels: &'a [Vec<u32>], mut idx: usize) -> Self {
-        let d = levels.len();
-        let mut pos = vec![0usize; d];
-        for j in (0..d).rev() {
-            let n = levels[j].len();
-            pos[j] = idx % n;
-            idx /= n;
+    pub fn band_slice(&self, bands: &[Range<usize>]) -> Table {
+        debug_assert_eq!(bands.len(), self.dims());
+        let levels: Vec<Vec<u32>> =
+            self.levels.iter().zip(bands).map(|(l, b)| l[b.start..b.end].to_vec()).collect();
+        let mut out = Table::new(levels, f64::INFINITY);
+        let mut cursor = self.cursor(0);
+        cursor.seek_band_origin(bands);
+        for v in out.values_mut() {
+            *v = self.values[cursor.flat_index()];
+            cursor.advance_within(bands);
         }
-        let counts = pos.iter().zip(levels).map(|(&p, l)| l[p]).collect();
-        Self { levels, pos, counts }
-    }
-
-    /// Server counts of the current cell.
-    #[must_use]
-    pub fn counts(&self) -> &[u32] {
-        &self.counts
-    }
-
-    /// Total server count of the current cell.
-    #[must_use]
-    pub fn total(&self) -> u64 {
-        self.counts.iter().map(|&c| u64::from(c)).sum()
-    }
-
-    /// Step to the next cell in layout order (wrapping at the end),
-    /// updating only the dimensions whose position changed.
-    pub fn advance(&mut self) {
-        for j in (0..self.pos.len()).rev() {
-            self.pos[j] += 1;
-            if self.pos[j] < self.levels[j].len() {
-                self.counts[j] = self.levels[j][self.pos[j]];
-                return;
-            }
-            self.pos[j] = 0;
-            self.counts[j] = self.levels[j][0];
-        }
+        out
     }
 }
 
@@ -403,6 +373,19 @@ mod tests {
         let t = table();
         assert_eq!(t.argmin(), None);
         assert_eq!(t.min_value(), f64::INFINITY);
+    }
+
+    #[test]
+    fn band_slice_copies_the_banded_cells() {
+        let mut t = table(); // levels [0,1,2] × [0,2]
+        for (i, v) in t.values_mut().iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let b = t.band_slice(&[1..3, 0..2]);
+        assert_eq!(b.all_levels(), &[vec![1, 2], vec![0, 2]]);
+        assert_eq!(b.values(), &[2.0, 3.0, 4.0, 5.0]);
+        let full = t.band_slice(&[0..3, 0..2]);
+        assert_eq!(full.values(), t.values());
     }
 
     #[test]

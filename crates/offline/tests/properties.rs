@@ -306,7 +306,16 @@ fn recovery_memory_is_sqrt_t_on_long_horizons() {
         .unwrap();
     let oracle = Dispatcher::new();
     for pipeline in [false, true] {
-        let opts = DpOptions { parallel: false, pipeline, ..Default::default() };
+        // Checkpointing is forced: under Auto this non-poolable
+        // instance would (correctly) materialize within the memory
+        // budget instead of paying the replay — the machinery under
+        // test here is the checkpointed recovery itself.
+        let opts = DpOptions {
+            parallel: false,
+            pipeline,
+            recovery: rsz_offline::RecoveryMode::Checkpointed,
+            ..Default::default()
+        };
         let (res, stats) = solve_with_stats(&inst, &oracle, opts);
         assert_eq!(stats.horizon, horizon);
         assert_eq!(stats.segment_len, 32, "⌈√1024⌉");

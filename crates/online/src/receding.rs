@@ -13,9 +13,12 @@
 //! included as the "what if we had w slots of perfect prediction"
 //! baseline in the experiments.
 
+use std::ops::Range;
+
 use rsz_core::{Config, GtOracle, Instance};
 use rsz_offline::dp::{backtrack_window, betas, dp_step, DpOptions};
 use rsz_offline::engine::{add_priced, PricedSlotPool};
+use rsz_offline::refine::{lift_band, refine_window, FineGrid, RefineOptions};
 use rsz_offline::table::Table;
 use rsz_offline::transform::arrival_transform;
 use rsz_offline::GridMode;
@@ -38,9 +41,20 @@ pub struct RecedingHorizon<O> {
     /// by a vectorized add instead of per-cell solves.
     pub options: DpOptions,
     prev: Option<Config>,
-    /// Priced-slot pool (engine mode), initialized lazily at the first
-    /// decision so it binds to the instance actually driven.
+    /// Priced-slot pool (engine and refine modes), initialized lazily at
+    /// the first decision so it binds to the instance actually driven.
     pool: Option<PricedSlotPool>,
+    /// Separate pool for the refine mode's coarse `Γ(γ₀)` window solves
+    /// (coarse and fine grids share fleet sizes, so one pool would
+    /// alias keys).
+    coarse_pool: Option<PricedSlotPool>,
+    /// The previous decision's window plan (refine mode): consecutive
+    /// windows overlap in `w − 1` slots, so the old plan's trajectory
+    /// seeds the new window's bands — the warm start that keeps band
+    /// pricing pool-resident across windows.
+    last_plan: Vec<Config>,
+    /// Slot index of `last_plan[0]`.
+    last_plan_start: usize,
 }
 
 impl<O: GtOracle + Sync> RecedingHorizon<O> {
@@ -52,7 +66,16 @@ impl<O: GtOracle + Sync> RecedingHorizon<O> {
     pub fn new(oracle: O, window: usize) -> Self {
         assert!(window >= 1, "window must be at least one slot");
         let options = DpOptions { parallel: false, ..DpOptions::default() };
-        Self { oracle, window, options, prev: None, pool: None }
+        Self {
+            oracle,
+            window,
+            options,
+            prev: None,
+            pool: None,
+            coarse_pool: None,
+            last_plan: Vec::new(),
+            last_plan_start: 0,
+        }
     }
 
     /// Pricing counters of the engine's priced-slot pool (`None` before
@@ -88,6 +111,21 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
         let end = (t + self.window).min(instance.horizon());
         let b = betas(instance);
         let opts = self.options;
+        // Rebind the pool at every run start (t = 0), not just on first
+        // use: pooled g_t tables are only valid for the instance they
+        // were priced against, and a controller re-driven over a
+        // different instance with equal fleet sizes would otherwise
+        // silently optimize against stale operating costs. The previous
+        // run's window plan is stale for the same reason.
+        if (opts.engine || opts.refine.is_some()) && (self.pool.is_none() || t == 0) {
+            self.pool = Some(PricedSlotPool::new(instance));
+        }
+        if opts.refine.is_some() && (self.coarse_pool.is_none() || t == 0) {
+            self.coarse_pool = Some(PricedSlotPool::new(instance));
+        }
+        if t == 0 {
+            self.last_plan.clear();
+        }
         // Start the window DP from a point mass at the current state: the
         // arrival transform prices power-ups relative to it for free.
         let start = self.prev.clone().unwrap_or_else(|| Config::zeros(d));
@@ -98,13 +136,8 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
         let mut point = Table::new(point_levels, f64::INFINITY);
         point.values_mut()[0] = 0.0;
 
-        // Rebind the pool at every run start (t = 0), not just on first
-        // use: pooled g_t tables are only valid for the instance they
-        // were priced against, and a controller re-driven over a
-        // different instance with equal fleet sizes would otherwise
-        // silently optimize against stale operating costs.
-        if opts.engine && (self.pool.is_none() || t == 0) {
-            self.pool = Some(PricedSlotPool::new(instance));
+        if let Some(refine) = opts.refine {
+            return self.decide_refined(instance, t, end, &b, &point, refine);
         }
         let mut tables: Vec<Table> = Vec::with_capacity(end - t);
         for u in t..end {
@@ -127,6 +160,89 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
         let plan = backtrack_window(instance, &tables);
         let choice = plan.schedule.config(0).clone();
         self.prev = Some(choice.clone());
+        choice
+    }
+}
+
+impl<O: GtOracle + Sync> RecedingHorizon<O> {
+    /// The corridor-banded window DP ([`DpOptions::refine`]). Every
+    /// window first runs the cheap coarse `Γ(γ₀)` window solve — the
+    /// coarse pass *must* see the window's freshly revealed tail slot,
+    /// or a load spike arriving there would never enter the bands (the
+    /// previous plan knows nothing about it, and neither boundary
+    /// contact nor the widen-by-one verification can cross a multi-
+    /// position gap). Bands are then the **union** of the corridor
+    /// around the coarse trajectory and the corridor around the
+    /// previous window's plan: the former carries correctness, the
+    /// latter keeps bands stable across overlapping windows so the
+    /// band-keyed pool answers the `w − 1` re-solved slots without
+    /// re-pricing. Coarse pricings live in their own pool (coarse and
+    /// fine grids share fleet sizes, so one pool would alias); its
+    /// overlap hits make the per-window coarse cost ≈ one fresh slot.
+    /// The band fixpoint then runs exactly like the offline corridor
+    /// solver, so the committed decision equals the unrestricted window
+    /// DP's (property-tested).
+    fn decide_refined(
+        &mut self,
+        instance: &Instance,
+        t: usize,
+        end: usize,
+        betas: &[f64],
+        point: &Table,
+        refine: RefineOptions,
+    ) -> Config {
+        let d = instance.num_types();
+        let factor = refine.corridor_factor();
+        let fine = FineGrid::new(instance, refine.target, t..end);
+
+        // Coarse window solve on Γ(γ₀), priced through the coarse pool
+        // (overlapping windows hit on the w − 1 shared slots).
+        let coarse_mode = GridMode::Gamma(refine.coarse_gamma);
+        let coarse_pool =
+            self.coarse_pool.as_mut().expect("refine mode binds the coarse pool in decide");
+        let mut tables: Vec<Table> = Vec::with_capacity(end - t);
+        for u in t..end {
+            let levels: Vec<Vec<u32>> =
+                (0..d).map(|j| coarse_mode.levels(instance.server_count(u, j))).collect();
+            let prev = tables.last().unwrap_or(point);
+            let mut cur = arrival_transform(prev, &levels, betas);
+            let priced =
+                coarse_pool.get_or_price(instance, &self.oracle, u, instance.load(u), &levels);
+            add_priced(&mut cur, &priced, 1.0);
+            tables.push(cur);
+        }
+        let coarse: Vec<Config> =
+            backtrack_window(instance, &tables).schedule.iter().map(|(_, c)| c.clone()).collect();
+
+        // Bands: corridor around the coarse trajectory, unioned with the
+        // corridor around the previous plan where it overlaps.
+        let mut bands: Vec<Vec<Range<usize>>> = coarse
+            .iter()
+            .enumerate()
+            .map(|(o, seed)| {
+                (0..d)
+                    .map(|j| {
+                        let levels = fine.at(t + o)[j].as_slice();
+                        let mut band = lift_band(levels, seed.count(j), factor);
+                        let idx = (t + o).saturating_sub(self.last_plan_start);
+                        if let Some(plan) = self.last_plan.get(idx) {
+                            let warm = lift_band(levels, plan.count(j), factor);
+                            band = band.start.min(warm.start)..band.end.max(warm.end);
+                        }
+                        band
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let pool = self.pool.as_mut().expect("refine mode binds the pool in decide");
+        let outcome =
+            refine_window(instance, &self.oracle, t..end, point, &fine, &mut bands, pool, &refine);
+        let plan = outcome.result;
+        let choice = plan.schedule.config(0).clone();
+        self.prev = Some(choice.clone());
+        self.last_plan = plan.schedule.iter().map(|(_, c)| c.clone()).collect();
+        self.last_plan_start = t;
         choice
     }
 }
@@ -220,6 +336,52 @@ mod tests {
         let mut fresh = RecedingHorizon::new(oracle, 2).with_options(opts);
         let want = run(&pricey, &mut fresh, &oracle);
         assert_eq!(want.schedule, second.schedule, "stale pooled prices leaked across runs");
+    }
+
+    #[test]
+    fn refined_windows_match_plain_windows() {
+        // The corridor-banded window DP must commit exactly the plain
+        // window DP's decisions — bands are an acceleration, not a
+        // policy change.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        for w in [1, 2, 4, 8] {
+            let plain = run(&inst, &mut RecedingHorizon::new(oracle, w), &oracle);
+            let opts = DpOptions {
+                refine: Some(RefineOptions::exact()),
+                parallel: false,
+                ..DpOptions::default()
+            };
+            let mut refined = RecedingHorizon::new(oracle, w).with_options(opts);
+            let refined_run = run(&inst, &mut refined, &oracle);
+            assert_eq!(plain.schedule, refined_run.schedule, "w={w}");
+            let stats = refined.engine_stats().expect("refine mode pools");
+            assert!(stats.pricings > 0);
+            if w > 1 {
+                assert!(
+                    stats.pool_hits > 0,
+                    "overlapping windows must reuse banded pricings: {stats:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refined_windows_reseed_on_rerun() {
+        // A controller re-driven from scratch must not seed bands from
+        // the previous run's plan.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let opts = DpOptions {
+            refine: Some(RefineOptions::exact()),
+            parallel: false,
+            ..DpOptions::default()
+        };
+        let mut reused = RecedingHorizon::new(oracle, 3).with_options(opts);
+        let first = run(&inst, &mut reused, &oracle);
+        reused.prev = None;
+        let second = run(&inst, &mut reused, &oracle);
+        assert_eq!(first.schedule, second.schedule, "rerun must reset plan seeding");
     }
 
     #[test]

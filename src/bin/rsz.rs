@@ -45,9 +45,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--cache] [--pipeline]
+               [--refine] [--refine-gamma G] [--refine-epsilon E]
                [--threads N] [--out FILE] [--chart]
   rsz simulate --trace FILE --fleet PRESET --algo {a|b|c[:EPS]|lcp|rhc[:W]}
-               [--engine] [--cache] [--pipeline] [--out FILE]
+               [--engine] [--cache] [--pipeline] [--refine] [--out FILE]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
@@ -65,6 +66,15 @@ on repeating traces); costs agree with the legacy path to a relative
 matching the legacy path's (gated on every bench workload). --threads N
 pins the solver's worker count (default: all cores for large grids).
 
+--refine runs the coarse-to-fine corridor solver: a cheap gamma-grid
+coarse solve localizes the optimum, the DP then prices and sweeps only
+a per-slot band of the fine grid, and an exactness-guarded expansion
+fixpoint re-solves until the banded optimum is interior — the schedule
+is identical to the unrestricted solve's. --refine-gamma G sets the
+coarse gamma (default 1.25); --refine-epsilon E trades exactness for
+speed: one coarse + one banded pass within (1+E) of optimal
+(Theorem 21). Either sub-flag implies --refine.
+
 simulate drives an online controller slot by slot with a wall clock
 around every decision and reports per-decision latency percentiles.
 --engine switches the prefix solvers onto the online decision engine:
@@ -73,7 +83,11 @@ table per (slot, λ, grid) — recurring loads and Algorithm C's sub-slot
 replays fold a priced slot in with one vectorized add instead of
 per-cell dispatch solves. Decisions are identical with the engine on or
 off (property-tested); lcp needs a homogeneous fleet, rhc:W sets the
-forecast window (default 8).";
+forecast window (default 8). With --refine, rhc's window DP runs the
+corridor solver: bands warm-start from the previous window's plan and
+overlapping windows answer from the band-keyed pricing pool (identical
+decisions, property-tested; other algorithms step the full grid and
+ignore the flag).";
 
 /// Pull `--name value` out of an argument list.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -82,6 +96,38 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parse the corridor-refinement flags: `--refine` (exact),
+/// `--refine-gamma G` (coarse γ₀ override), `--refine-epsilon E`
+/// (`(1+E)` early-stop mode). Either sub-flag implies `--refine`.
+fn parse_refine(
+    args: &[String],
+) -> Result<Option<heterogeneous_rightsizing::offline::RefineOptions>, String> {
+    use heterogeneous_rightsizing::offline::RefineOptions;
+    let gamma = match flag(args, "--refine-gamma").as_deref().map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(g)) if g > 1.0 => Some(g),
+        Some(_) => return Err("--refine-gamma G needs G > 1".into()),
+    };
+    let epsilon = match flag(args, "--refine-epsilon").as_deref().map(str::parse::<f64>) {
+        None => None,
+        Some(Ok(e)) if e > 0.0 => Some(e),
+        Some(_) => return Err("--refine-epsilon E needs a positive E".into()),
+    };
+    if !has_flag(args, "--refine") && gamma.is_none() && epsilon.is_none() {
+        return Ok(None);
+    }
+    if gamma.is_some() && epsilon.is_some() {
+        // --refine-epsilon derives its coarse gamma (1 + E/2) to make the
+        // (1+E) guarantee hold; a gamma override would silently void it.
+        return Err("--refine-gamma and --refine-epsilon are mutually exclusive".into());
+    }
+    let mut refine = epsilon.map_or_else(RefineOptions::exact, RefineOptions::epsilon);
+    if let Some(g) = gamma {
+        refine = refine.with_gamma(g);
+    }
+    Ok(Some(refine))
 }
 
 fn parse_fleet(spec: &str) -> Result<Vec<ServerType>, String> {
@@ -109,8 +155,16 @@ fn solve(args: &[String]) -> ExitCode {
         Some(Ok(n)) if n >= 1 => Some(n),
         Some(_) => return fail("--threads N needs a positive integer"),
     };
-    let dp_opts =
-        DpOptions { pipeline: has_flag(args, "--pipeline"), threads, ..DpOptions::default() };
+    let refine = match parse_refine(args) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    let dp_opts = DpOptions {
+        pipeline: has_flag(args, "--pipeline"),
+        threads,
+        refine,
+        ..DpOptions::default()
+    };
 
     if has_flag(args, "--cache") {
         let oracle = CachedDispatcher::new(&instance);
@@ -151,8 +205,23 @@ fn solve_with<O: GtOracle + Sync + Clone>(
     };
     let (name, schedule): (String, Schedule) = match algo_spec.split_once(':') {
         None if algo_spec == "opt" => {
-            let res = offline::solve(instance, &oracle, dp_opts);
-            ("offline optimal".into(), res.schedule)
+            if dp_opts.refine.is_some() {
+                let (res, stats) = offline::refine::solve_refined(instance, &oracle, dp_opts);
+                println!(
+                    "corridor refine: {} rounds, {} expansions, band coverage {:.1}% ({} of {} cells){}{}",
+                    stats.rounds,
+                    stats.expansions,
+                    100.0 * stats.band_fraction(),
+                    stats.band_cells,
+                    stats.fine_cells,
+                    if stats.fell_back { ", fell back to full grid" } else { "" },
+                    if stats.early_stopped { ", early-stopped (1+eps)" } else { "" },
+                );
+                ("offline optimal (corridor-refined)".into(), res.schedule)
+            } else {
+                let res = offline::solve(instance, &oracle, dp_opts);
+                ("offline optimal".into(), res.schedule)
+            }
         }
         None if algo_spec == "a" => {
             let mut a = AlgorithmA::new(instance, oracle.clone(), online_opts);
@@ -252,9 +321,16 @@ fn simulate(args: &[String]) -> ExitCode {
         pipeline: has_flag(args, "--pipeline"),
         ..Default::default()
     };
+    let refine = match parse_refine(args) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if refine.is_some() && !algo_spec.starts_with("rhc") {
+        eprintln!("note: --refine accelerates the rhc window DP; other algorithms ignore it");
+    }
     if has_flag(args, "--cache") {
         let oracle = CachedDispatcher::new(&instance);
-        let code = simulate_with(&instance, oracle.clone(), &algo_spec, online_opts, args);
+        let code = simulate_with(&instance, oracle.clone(), &algo_spec, online_opts, refine, args);
         let s = oracle.stats();
         if s.hits + s.misses > 0 {
             println!(
@@ -266,7 +342,7 @@ fn simulate(args: &[String]) -> ExitCode {
         }
         code
     } else {
-        simulate_with(&instance, Dispatcher::new(), &algo_spec, online_opts, args)
+        simulate_with(&instance, Dispatcher::new(), &algo_spec, online_opts, refine, args)
     }
 }
 
@@ -278,6 +354,7 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
     oracle: O,
     algo_spec: &str,
     online_opts: heterogeneous_rightsizing::online::algo_a::AOptions,
+    refine: Option<heterogeneous_rightsizing::offline::RefineOptions>,
     args: &[String],
 ) -> ExitCode {
     type Stats = heterogeneous_rightsizing::offline::EngineStats;
@@ -330,6 +407,7 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
                     Some(Ok(w)) if w >= 1 => w,
                     Some(_) => return fail("rhc:W needs a positive window"),
                 };
+                let dp_opts = heterogeneous_rightsizing::offline::DpOptions { refine, ..dp_opts };
                 let mut rhc = RecedingHorizon::new(oracle.clone(), window).with_options(dp_opts);
                 let (run, profile) = online::run_instrumented(instance, &mut rhc, &oracle);
                 let stats = rhc.engine_stats();

@@ -1,0 +1,46 @@
+//! Schema check for the benchmark trajectory records.
+//!
+//! Every `BENCH_*.json` at the workspace root is a machine-read
+//! trajectory the CI uploads as an artifact; downstream tooling (and
+//! the next PR's diffing) relies on three top-level keys being present:
+//! `bench` (which bench wrote it), `timestamp` (when), and `runs` (the
+//! per-scenario rows). The workspace has no JSON dependency, so the
+//! check is a minimal structural scan, not a full parse.
+
+use std::fs;
+use std::path::Path;
+
+/// `true` if `json` contains the top-level key `"name":` (crude but
+/// sufficient: bench writers emit keys exactly once, quoted, colon
+/// separated).
+fn has_key(json: &str, name: &str) -> bool {
+    json.contains(&format!("\"{name}\":"))
+}
+
+#[test]
+fn all_bench_trajectories_carry_the_required_keys() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    for entry in fs::read_dir(root).expect("workspace root readable") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let body =
+            fs::read_to_string(entry.path()).unwrap_or_else(|e| panic!("{name} unreadable: {e}"));
+        for key in ["bench", "timestamp", "runs"] {
+            assert!(has_key(&body, key), "{name} is missing the required `{key}` key");
+        }
+        assert!(
+            body.trim_start().starts_with('{') && body.trim_end().ends_with('}'),
+            "{name} is not a JSON object"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected at least BENCH_dp/BENCH_online/BENCH_refine at the root, found {checked}"
+    );
+}
