@@ -136,8 +136,9 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let iterations = if quick { 1 } else { 3 };
 
+    let all = scenarios(quick);
     let mut rows: Vec<Row> = Vec::new();
-    for sc in scenarios(quick) {
+    for sc in &all {
         let inst = &sc.instance;
         // The baseline pins RecoveryMode::Materialized: that is exactly
         // the PR-2 code path (one forward pass over all tables, no
@@ -221,6 +222,26 @@ fn main() {
         }
     }
 
+    // Kernel-layer isolation on the gated instance: steady-state
+    // engine-mode stepping (pool-warm, zero oracle calls per step) under
+    // the lanes kernels vs the scalar twins — the transform + fold +
+    // argmin work this bench's solves bottom out in, without the pricing
+    // dilution. Asserts bit-identity between the modes as it times them.
+    let gated_inst = &all.iter().find(|s| s.gated).expect("one gated scenario").instance;
+    let (warm, steps) = (24, if quick { 48 } else { 96 });
+    let kt = rsz_bench::kernelbench::measure(gated_inst, warm, steps, iterations);
+    let kernel_speedup = kt.speedup();
+    println!(
+        "bench: dp_pipeline/kernels{:>16.2} ms -> {:>9.2} ms  ({kernel_speedup:>5.2}x scalar/simd, {steps} steps)",
+        kt.scalar_ms, kt.simd_ms,
+    );
+    if !quick {
+        assert!(
+            kernel_speedup >= 2.0,
+            "kernel layer speedup {kernel_speedup:.2}x below the 2x gate"
+        );
+    }
+
     let timestamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -246,8 +267,11 @@ fn main() {
     }
     let reference = rows.iter().find(|r| r.name == "diurnal_reference").expect("reference ran");
     let json = format!(
-        "{{\n  \"bench\": \"dp_pipeline\",\n  \"quick\": {quick},\n  \"timestamp\": {timestamp},\n  \"reference_speedup\": {:.3},\n  \"runs\": [\n{runs}  ]\n}}\n",
+        "{{\n  \"bench\": \"dp_pipeline\",\n  \"quick\": {quick},\n  \"timestamp\": {timestamp},\n  \"reference_speedup\": {:.3},\n  \"kernel_scalar_ms\": {:.3},\n  \"kernel_simd_ms\": {:.3},\n  \"kernel_speedup\": {:.3},\n  \"runs\": [\n{runs}  ]\n}}\n",
         reference.speedup,
+        kt.scalar_ms,
+        kt.simd_ms,
+        kernel_speedup,
     );
 
     // `cargo bench` sets the cwd to crates/bench; resolve the workspace

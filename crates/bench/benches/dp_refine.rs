@@ -127,8 +127,9 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let iterations = if quick { 1 } else { 3 };
 
+    let all = scenarios(quick);
     let mut rows: Vec<Row> = Vec::new();
-    for sc in scenarios(quick) {
+    for sc in &all {
         let inst = &sc.instance;
         // Baseline: the PR-3 slot-batched pipeline, unrestricted grid.
         let pipeline_opts = DpOptions::pipelined();
@@ -192,6 +193,26 @@ fn main() {
         }
     }
 
+    // Kernel-layer isolation on the gated d = 3 instance: steady-state
+    // engine-mode stepping (pool-warm, zero oracle calls per step) under
+    // the lanes kernels vs the scalar twins. Whole refined solves are
+    // pricing-dominated, so this is where the ≥ 2× kernel gate lives;
+    // bit-identity between the modes is asserted as part of the timing.
+    let gated_inst = &all.iter().find(|s| s.gated).expect("one gated scenario").instance;
+    let (warm, steps) = if quick { (12, 12) } else { (24, 24) };
+    let kt = rsz_bench::kernelbench::measure(gated_inst, warm, steps, if quick { 1 } else { 2 });
+    let kernel_speedup = kt.speedup();
+    println!(
+        "bench: dp_refine/kernels{:>18.2} ms -> {:>9.2} ms  ({kernel_speedup:>5.2}x scalar/simd, {steps} steps)",
+        kt.scalar_ms, kt.simd_ms,
+    );
+    if !quick {
+        assert!(
+            kernel_speedup >= 2.0,
+            "kernel layer speedup {kernel_speedup:.2}x below the 2x gate"
+        );
+    }
+
     let timestamp = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -222,8 +243,11 @@ fn main() {
     }
     let reference = rows.iter().find(|r| r.name == "d3_large_fleet_diurnal").expect("gated ran");
     let json = format!(
-        "{{\n  \"bench\": \"dp_refine\",\n  \"quick\": {quick},\n  \"timestamp\": {timestamp},\n  \"d3_speedup\": {:.3},\n  \"runs\": [\n{runs}  ]\n}}\n",
+        "{{\n  \"bench\": \"dp_refine\",\n  \"quick\": {quick},\n  \"timestamp\": {timestamp},\n  \"d3_speedup\": {:.3},\n  \"kernel_scalar_ms\": {:.3},\n  \"kernel_simd_ms\": {:.3},\n  \"kernel_speedup\": {:.3},\n  \"runs\": [\n{runs}  ]\n}}\n",
         reference.speedup,
+        kt.scalar_ms,
+        kt.simd_ms,
+        kernel_speedup,
     );
 
     // `cargo bench` sets the cwd to crates/bench; resolve the workspace

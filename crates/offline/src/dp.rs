@@ -355,8 +355,9 @@ pub fn backtrack_window(instance: &Instance, tables: &[Table]) -> DpResult {
 /// `None`: interior segments do not define one).
 ///
 /// Returns the chosen configuration per slot of the segment, in slot
-/// order. Selection uses the crate-shared `TieMin` epsilon tie-break at
-/// every step, so splitting a window into segments recovers exactly the
+/// order. Selection uses the tie-break rule documented in
+/// [`crate::kernels`] (via its streaming `TieMin` accumulator) at every
+/// step, so splitting a window into segments recovers exactly the
 /// schedule the whole-window backtrack would.
 pub(crate) fn backtrack_segment(
     instance: &Instance,
@@ -392,12 +393,14 @@ pub(crate) fn backtrack_segment(
 
 /// The cell of `tab` minimizing `OPT(x') + Σ_j β_j (target_j − x'_j)^+`.
 ///
-/// Predecessor selection shares `TieMin`'s epsilon tie-break with
-/// [`Table::argmin`]: one-ulp value wobbles (e.g. parallel vs sequential
-/// fills) must not flip the recovered schedule. The scan walks a
-/// [`crate::table::GridCursor`] — no per-cell `Config` allocation.
+/// Predecessor selection shares the [`crate::kernels`] epsilon tie-break
+/// rule with [`Table::argmin`]: one-ulp value wobbles (e.g. parallel vs
+/// sequential fills) must not flip the recovered schedule. Candidate
+/// values are produced on the fly, so this uses the streaming `TieMin`
+/// accumulator form; the scan walks a [`crate::table::GridCursor`] — no
+/// per-cell `Config` allocation.
 fn select_predecessor(instance: &Instance, tab: &Table, target: &Config, d: usize) -> usize {
-    let mut tie = crate::table::TieMin::new();
+    let mut tie = crate::kernels::TieMin::new();
     let mut cursor = tab.cursor(0);
     for (i, &base) in tab.values().iter().enumerate() {
         if base.is_finite() {

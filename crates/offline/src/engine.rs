@@ -359,18 +359,13 @@ pub fn price_slot(
 /// Fold a priced slot into a DP table in place:
 /// `table[x] += scale · g[x]`, with cells the pricing found infeasible
 /// (`g = ∞`) forced to `∞` whatever the scale. The grids must match.
+/// Runs through the [`crate::kernels::axpy_fold`] kernel.
 ///
 /// # Panics
 /// Panics if the value lengths differ.
 pub fn add_priced(table: &mut Table, priced: &Table, scale: f64) {
     assert_eq!(table.len(), priced.len(), "priced slot grid mismatch");
-    for (v, &g) in table.values_mut().iter_mut().zip(priced.values()) {
-        if !g.is_finite() {
-            *v = f64::INFINITY;
-        } else if v.is_finite() {
-            *v += scale * g;
-        }
-    }
+    crate::kernels::axpy_fold(table.values_mut(), priced.values(), scale);
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ use rsz_core::{Config, GtOracle, Instance};
 use crate::dp::{betas, price_cells, DpOptions};
 use crate::engine::{add_priced, EngineStats, PricedSlotPool};
 use crate::table::Table;
-use crate::transform::arrival_transform_inplace;
+use crate::transform::{arrival_transform_inplace, TransformScratch};
 
 /// Rolling prefix-DP state.
 #[derive(Clone, Debug)]
@@ -58,8 +58,9 @@ pub struct PrefixDp {
     levels: Vec<Vec<u32>>,
     levels_cached: bool,
     slot_invariant: bool,
-    /// Suffix-minima scratch of the transform passes.
-    suffix: Vec<f64>,
+    /// Scratch of the transform passes (suffix minima + the
+    /// row-vectorized pass's suffix-row block).
+    scratch: TransformScratch,
     /// Counts of the last argmin cell ([`PrefixDp::step_counts`]).
     counts: Vec<u32>,
     /// Priced-slot pool (engine mode only).
@@ -82,7 +83,7 @@ impl PrefixDp {
             levels: Vec::new(),
             levels_cached: false,
             slot_invariant: !instance.has_time_varying_counts(),
-            suffix: Vec::new(),
+            scratch: TransformScratch::new(),
             counts: Vec::with_capacity(d),
             pool: options.engine.then(|| PricedSlotPool::new(instance)),
             last_priced: None,
@@ -199,7 +200,7 @@ impl PrefixDp {
             &mut self.spare,
             &self.levels,
             &self.betas,
-            &mut self.suffix,
+            &mut self.scratch,
         );
         if let Some(pool) = self.pool.as_mut() {
             let priced = pool.get_or_price(instance, oracle, t, lambda, &self.levels);

@@ -33,6 +33,12 @@
 //!   expansion fixpoint re-solves until the banded optimum touches no
 //!   band boundary (schedules identical to unrestricted solves,
 //!   property-tested; a `(1+ε)` early-stop mode reuses Theorem 21).
+//! * [`kernels`] — the kernel layer: chunked 4-lane implementations of
+//!   the three hot loops every solve path bottoms out in (suffix minima,
+//!   the pricing fold, the windowed argmin), each with a bit-identical
+//!   scalar reference twin and a process-wide
+//!   [`kernels::force_scalar`] switch, plus the one documented home of
+//!   the relative-epsilon tie-break rule.
 //! * [`relax`] — the fractional relaxation via server subdivision, for
 //!   integrality-gap measurements against the prior fractional work.
 //! * [`brute`] — exhaustive enumeration for tiny instances (test oracle).
@@ -46,6 +52,7 @@ pub mod engine;
 pub mod graph;
 pub mod grid;
 pub mod incremental;
+pub mod kernels;
 pub mod parallel;
 pub mod pipeline;
 pub mod refine;
@@ -63,3 +70,4 @@ pub use incremental::PrefixDp;
 pub use pipeline::RecoveryStats;
 pub use refine::{solve_refined, RefineOptions, RefineStats};
 pub use table::Table;
+pub use transform::TransformScratch;

@@ -58,7 +58,13 @@ where
         return;
     }
 
-    let chunk_size = total.div_ceil(threads * 4).max(64);
+    // Align chunks to whole innermost lines so every worker walks
+    // contiguous stride-1 rows and no line is split across threads —
+    // the kernel layer's layout contract. (Cells are pure up to the
+    // documented sweep tolerance, so chunk geometry cannot change
+    // results beyond what the epsilon tie-breaks already absorb.)
+    let line = levels.last().map_or(1, Vec::len).max(1);
+    let chunk_size = total.div_ceil(threads * 4).max(64).div_ceil(line) * line;
     std::thread::scope(|s| {
         for (ci, chunk) in values.chunks_mut(chunk_size).enumerate() {
             let run = &run_chunk;

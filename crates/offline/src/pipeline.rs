@@ -38,7 +38,7 @@ use rsz_core::{Config, GtOracle, Instance, Schedule};
 
 use crate::dp::{backtrack_segment, betas, dp_step, DpOptions, DpResult};
 use crate::table::{GridCursor, Table};
-use crate::transform::arrival_transform;
+use crate::transform::{arrival_transform_inplace, TransformScratch};
 
 /// Memory accounting of a checkpointed solve, for tests and reports.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +88,12 @@ struct Engine<'a, O> {
     /// caller (checkpoints, replayed segment) are reported via
     /// `base_live`; the engine adds its own batch-owned tables.
     peak_live: usize,
+    /// Ping-pong partner for the in-place recurrence transform; reused
+    /// across every step so steady-state stepping never allocates.
+    spare: Table,
+    /// Transform scratch (suffix buffer + row-vectorized block), shared
+    /// by every recurrence step of the solve.
+    scratch: TransformScratch,
 }
 
 impl<'a, O: GtOracle + Sync> Engine<'a, O> {
@@ -110,6 +116,8 @@ impl<'a, O: GtOracle + Sync> Engine<'a, O> {
             // keeping worst-case retention within the √T budget.
             pool_cap: (4 * segment_len).max(64),
             peak_live: 0,
+            spare: Table::origin(instance.num_types()),
+            scratch: TransformScratch::new(),
         }
     }
 
@@ -239,17 +247,21 @@ impl<'a, O: GtOracle + Sync> Engine<'a, O> {
         (tables, owned)
     }
 
-    /// One recurrence step: arrival transform onto the pricing table's
-    /// grid, then add `g_t` (cells priced infeasible become infinite,
-    /// matching [`dp_step`]).
-    fn recurrence_step(&self, prev: &Table, pricing: &Table) -> Table {
-        let mut cur = arrival_transform(prev, pricing.all_levels(), &self.betas);
-        for (v, &g) in cur.values_mut().iter_mut().zip(pricing.values()) {
-            if v.is_finite() {
-                *v += g;
-            }
-        }
-        cur
+    /// One recurrence step, in place: arrival transform onto the pricing
+    /// table's grid (ping-ponging through the engine's spare table), then
+    /// fold in `g_t` via [`crate::kernels::axpy_fold`] at scale 1 — cells
+    /// priced infeasible become infinite, matching [`dp_step`]. Zero heap
+    /// allocation once the engine's buffers reach the grid's high-water
+    /// mark.
+    fn recurrence_step(&mut self, prev: &mut Table, pricing: &Table) {
+        arrival_transform_inplace(
+            prev,
+            &mut self.spare,
+            pricing.all_levels(),
+            &self.betas,
+            &mut self.scratch,
+        );
+        crate::kernels::axpy_fold(prev.values_mut(), pricing.values(), 1.0);
     }
 
     /// Advance `prev` across `range`, optionally materializing every
@@ -267,7 +279,7 @@ impl<'a, O: GtOracle + Sync> Engine<'a, O> {
             let (pricing, owned) = self.price_batch(range.clone());
             self.note_live(base_live + owned + 1);
             for (offset, _t) in range.enumerate() {
-                prev = self.recurrence_step(&prev, &pricing[offset]);
+                self.recurrence_step(&mut prev, &pricing[offset]);
                 if let Some(out) = out.as_deref_mut() {
                     out.push(prev.clone());
                     self.note_live(base_live + owned + out.len() + 1);

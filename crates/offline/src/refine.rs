@@ -62,7 +62,7 @@ use crate::dp::{backtrack_window, betas, DpOptions, DpResult};
 use crate::engine::{add_priced, EngineStats, PricedSlotPool};
 use crate::grid::GridMode;
 use crate::table::Table;
-use crate::transform::arrival_transform;
+use crate::transform::{arrival_transform_scratch, TransformScratch};
 
 /// Options of the corridor solver, threaded through
 /// [`DpOptions::refine`].
@@ -436,13 +436,23 @@ fn banded_pass(
     betas: &[f64],
     pool: &mut PricedSlotPool,
 ) -> Result<DpResult, usize> {
+    // Slot-shared buffers: the transform scratch and its ping-pong spare
+    // persist across the whole pass (band shapes repeat, so the memoized
+    // layout tag usually hits), and the band-level vectors reuse their
+    // capacity slot to slot instead of reallocating per slot.
+    let mut scratch = TransformScratch::new();
+    let mut spare = Table::origin(instance.num_types());
+    let mut band_levels: Vec<Vec<u32>> = vec![Vec::new(); instance.num_types()];
     let mut tables: Vec<Table> = Vec::with_capacity(range.len());
     for (o, t) in range.enumerate() {
         let fine_t = fine.at(t);
-        let band_levels: Vec<Vec<u32>> =
-            bands[o].iter().zip(fine_t).map(|(band, l)| l[band.start..band.end].to_vec()).collect();
+        for ((dst, band), l) in band_levels.iter_mut().zip(&bands[o]).zip(fine_t) {
+            dst.clear();
+            dst.extend_from_slice(&l[band.start..band.end]);
+        }
         let prev = tables.last().unwrap_or(start);
-        let mut cur = arrival_transform(prev, &band_levels, betas);
+        let mut cur =
+            arrival_transform_scratch(prev, &band_levels, betas, &mut spare, &mut scratch);
         let priced =
             pool.get_or_price_band(instance, oracle, t, instance.load(t), fine_t, &bands[o]);
         add_priced(&mut cur, &priced, 1.0);

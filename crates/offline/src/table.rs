@@ -10,6 +10,8 @@ use std::ops::Range;
 
 use rsz_core::Config;
 
+use crate::kernels;
+
 pub use crate::grid::GridCursor;
 
 /// Sorted candidate counts per dimension plus a flat value array.
@@ -192,25 +194,23 @@ impl Table {
     /// configuration with the smallest total count, then lexicographically
     /// smallest counts. Returns `None` if every cell is infinite.
     ///
-    /// Ties are decided by the crate-shared `TieMin` relative-epsilon
-    /// policy rather than exact float equality: cell values are sums of dispatch
-    /// solves whose last bits may differ between otherwise identical
-    /// runs, and the chosen cell seeds schedule recovery — exact
-    /// comparison would let a one-ulp wobble flip the recovered
-    /// schedule.
+    /// Ties are decided by the relative-epsilon window rule documented
+    /// once in [`crate::kernels`] (and implemented by its
+    /// [`crate::kernels::argmin_scan`] kernel) rather than exact float
+    /// equality: cell values are sums of dispatch solves whose last bits
+    /// may differ between otherwise identical runs, and the chosen cell
+    /// seeds schedule recovery — exact comparison would let a one-ulp
+    /// wobble flip the recovered schedule.
     #[must_use]
     pub fn argmin(&self) -> Option<usize> {
-        let mut tie = TieMin::new();
-        for (i, &v) in self.values.iter().enumerate() {
-            tie.offer(i, v, || self.total_count(i));
-        }
-        tie.best_index()
+        kernels::argmin_scan(&self.values, |i| self.total_count(i))
     }
 
-    /// Minimum value over all cells (`∞` when all infeasible).
+    /// Minimum value over all cells (`∞` when all infeasible), via the
+    /// [`crate::kernels::min_scan`] kernel.
     #[must_use]
     pub fn min_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        kernels::min_scan(&self.values)
     }
 
     /// A streaming counts cursor positioned at flat index `idx` — the
@@ -239,8 +239,14 @@ impl Table {
     /// A new table over the per-dimension *position* sub-ranges `bands`
     /// of this table's grid, copying the banded cells — the sliced view
     /// the corridor refiner and the priced-slot pool carve out of
-    /// full-grid tables. The walk advances one band-aware [`GridCursor`]
-    /// (`advance_within`), so no cell decomposes its flat index.
+    /// full-grid tables.
+    ///
+    /// The innermost band is a contiguous run in the flat layout, so the
+    /// copy proceeds one whole run (`memcpy`) at a time, walking the
+    /// outer bands as an odometer — cache-blocked band iteration instead
+    /// of a per-cell cursor walk. Under [`crate::kernels::force_scalar`]
+    /// the pre-refactor band-aware [`GridCursor`] walk runs instead
+    /// (bit-identical: both are exact copies).
     ///
     /// # Panics
     /// Panics (via debug assertions) if a band is empty or exceeds its
@@ -251,70 +257,163 @@ impl Table {
         let levels: Vec<Vec<u32>> =
             self.levels.iter().zip(bands).map(|(l, b)| l[b.start..b.end].to_vec()).collect();
         let mut out = Table::new(levels, f64::INFINITY);
-        let mut cursor = self.cursor(0);
-        cursor.seek_band_origin(bands);
-        for v in out.values_mut() {
-            *v = self.values[cursor.flat_index()];
-            cursor.advance_within(bands);
+        if kernels::scalar_forced() {
+            let mut cursor = self.cursor(0);
+            cursor.seek_band_origin(bands);
+            for v in out.values_mut() {
+                *v = self.values[cursor.flat_index()];
+                cursor.advance_within(bands);
+            }
+            return out;
         }
-        out
-    }
-}
-
-/// Epsilon-tolerant argmin accumulator — the single tie-break policy
-/// shared by [`Table::argmin`] and the DP's backtracking.
-///
-/// Candidates within a small *relative* epsilon of the running true
-/// minimum count as tied; ties resolve toward the smallest total server
-/// count, then the smallest index. Exact float comparison would let a
-/// one-ulp difference (e.g. parallel vs sequential fills) pick different
-/// winners for the same optimum, and anchoring the window on the true
-/// minimum — not the last accepted candidate — keeps chained near-ties
-/// from drifting beyond one epsilon.
-#[derive(Clone, Debug)]
-pub(crate) struct TieMin {
-    min_v: f64,
-    /// `(value, total count, index)` of the current winner.
-    best: Option<(f64, u64, usize)>,
-}
-
-impl TieMin {
-    /// Relative tolerance under which two candidate values count as tied.
-    const TIE_EPS: f64 = 1e-9;
-
-    pub(crate) fn new() -> Self {
-        Self { min_v: f64::INFINITY, best: None }
-    }
-
-    /// Offer candidate `i` with value `v`; `total` is queried only when
-    /// the candidate lands inside the tie window.
-    pub(crate) fn offer(&mut self, i: usize, v: f64, total: impl FnOnce() -> u64) {
-        if !v.is_finite() {
-            return;
-        }
-        if v < self.min_v {
-            self.min_v = v;
-        }
-        let eps = Self::TIE_EPS * self.min_v.abs().max(1.0);
-        match self.best {
-            None => self.best = Some((v, total(), i)),
-            Some((bv, btot, bi)) => {
-                if v > self.min_v + eps {
-                    return; // outside the tie window
-                }
-                let tot = total();
-                // Replace if the incumbent fell out of the lowered
-                // window, else by (total count, index) preference.
-                if bv > self.min_v + eps || tot < btot || (tot == btot && i < bi) {
-                    self.best = Some((v, tot, i));
+        let d = self.dims();
+        let inner = &bands[d - 1];
+        let run = inner.end - inner.start;
+        let mut pos: Vec<usize> = bands.iter().take(d - 1).map(|b| b.start).collect();
+        {
+            let out_vals = out.values_mut();
+            let mut out_off = 0usize;
+            'blocks: loop {
+                let base = pos.iter().zip(&self.strides).map(|(&p, &s)| p * s).sum::<usize>()
+                    + inner.start;
+                out_vals[out_off..out_off + run].copy_from_slice(&self.values[base..base + run]);
+                out_off += run;
+                // Odometer over the outer bands, last one fastest —
+                // layout order of both tables.
+                let mut j = d - 1;
+                loop {
+                    if j == 0 {
+                        break 'blocks;
+                    }
+                    j -= 1;
+                    pos[j] += 1;
+                    if pos[j] < bands[j].end {
+                        break;
+                    }
+                    pos[j] = bands[j].start;
                 }
             }
         }
+        out
     }
 
-    /// Index of the winner (`None` if every candidate was non-finite).
-    pub(crate) fn best_index(&self) -> Option<usize> {
-        self.best.map(|(_, _, i)| i)
+    /// The contiguous dimension-`d−1` (innermost) lines of this table:
+    /// zero-copy stride-1 views, one per setting of the outer dimensions.
+    pub fn lines(&self) -> impl Iterator<Item = &[f64]> {
+        let n = self.levels[self.dims() - 1].len();
+        self.values.chunks_exact(n)
+    }
+
+    /// Mutable contiguous line views along dimension `j` — the stride-1
+    /// access path for any dimension pass.
+    ///
+    /// For the innermost dimension the views borrow the flat values
+    /// directly (zero copy). For an outer dimension the lines are
+    /// gathered into `scratch`'s dimension-permuted buffer — transpose on
+    /// demand, with the permuted layout's tag memoized in the scratch so
+    /// repeated same-shape calls skip re-planning — and scattered back
+    /// into the table when the returned guard drops. (The transform's own
+    /// dimension passes use the equivalent *virtual* transpose — lockstep
+    /// rows through [`crate::kernels`] — which never materializes the
+    /// permutation; this view is the general-purpose form.)
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    pub fn lines_mut<'a>(&'a mut self, j: usize, scratch: &'a mut LineScratch) -> LinesMut<'a> {
+        let d = self.dims();
+        assert!(j < d, "dimension {j} out of range for a {d}-dimensional table");
+        let n = self.levels[j].len();
+        if j == d - 1 {
+            return LinesMut { n, mode: LinesMode::Direct(&mut self.values) };
+        }
+        let s = self.strides[j];
+        let outer = self.values.len() / (n * s);
+        scratch.ensure(j, n, s, self.values.len());
+        // Gather: values[a·n·s + k·s + b] → buf[(a·s + b)·n + k].
+        for a in 0..outer {
+            for k in 0..n {
+                let row = &self.values[a * n * s + k * s..][..s];
+                for (b, &v) in row.iter().enumerate() {
+                    scratch.buf[(a * s + b) * n + k] = v;
+                }
+            }
+        }
+        LinesMut {
+            n,
+            mode: LinesMode::Permuted { values: &mut self.values, buf: &mut scratch.buf, s },
+        }
+    }
+}
+
+/// Scratch backing [`Table::lines_mut`] for outer dimensions: the
+/// dimension-permuted value buffer plus the memoized layout tag
+/// identifying what it is currently shaped for.
+#[derive(Clone, Debug, Default)]
+pub struct LineScratch {
+    buf: Vec<f64>,
+    /// `(j, line length, stride, total)` of the current permuted layout.
+    tag: Option<(usize, usize, usize, usize)>,
+}
+
+impl LineScratch {
+    /// Empty scratch; the buffer grows to its high-water mark on use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, j: usize, n: usize, s: usize, total: usize) {
+        if self.tag != Some((j, n, s, total)) {
+            self.buf.resize(total, 0.0);
+            self.tag = Some((j, n, s, total));
+        }
+    }
+}
+
+/// Guard over [`Table::lines_mut`] views: iterate the stride-1 lines,
+/// mutate them freely; permuted (outer-dimension) lines are scattered
+/// back into the table on drop.
+pub struct LinesMut<'a> {
+    n: usize,
+    mode: LinesMode<'a>,
+}
+
+enum LinesMode<'a> {
+    Direct(&'a mut [f64]),
+    Permuted { values: &'a mut [f64], buf: &'a mut Vec<f64>, s: usize },
+}
+
+impl LinesMut<'_> {
+    /// Length of each line.
+    #[must_use]
+    pub fn line_len(&self) -> usize {
+        self.n
+    }
+
+    /// Iterate the contiguous lines mutably.
+    pub fn iter_mut(&mut self) -> std::slice::ChunksExactMut<'_, f64> {
+        match &mut self.mode {
+            LinesMode::Direct(values) => values.chunks_exact_mut(self.n),
+            LinesMode::Permuted { buf, .. } => buf.chunks_exact_mut(self.n),
+        }
+    }
+}
+
+impl Drop for LinesMut<'_> {
+    fn drop(&mut self) {
+        if let LinesMode::Permuted { values, buf, s } = &mut self.mode {
+            let (n, s) = (self.n, *s);
+            let outer = values.len() / (n * s);
+            // Scatter: buf[(a·s + b)·n + k] → values[a·n·s + k·s + b].
+            for a in 0..outer {
+                for k in 0..n {
+                    let row = &mut values[a * n * s + k * s..][..s];
+                    for (b, v) in row.iter_mut().enumerate() {
+                        *v = buf[(a * s + b) * n + k];
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -386,6 +485,55 @@ mod tests {
         assert_eq!(b.values(), &[2.0, 3.0, 4.0, 5.0]);
         let full = t.band_slice(&[0..3, 0..2]);
         assert_eq!(full.values(), t.values());
+    }
+
+    #[test]
+    fn band_slice_run_copy_matches_the_cursor_walk() {
+        let mut t = Table::new(vec![vec![0, 1, 2], vec![0, 1, 4], vec![0, 2]], 0.0);
+        for (i, v) in t.values_mut().iter_mut().enumerate() {
+            *v = (i as f64).sin();
+        }
+        for bands in
+            [[0..3, 0..3, 0..2], [1..2, 0..2, 1..2], [0..2, 2..3, 0..1], [2..3, 1..3, 0..2]]
+        {
+            kernels::force_scalar(true);
+            let cursor_walk = t.band_slice(&bands);
+            kernels::force_scalar(false);
+            let run_copy = t.band_slice(&bands);
+            assert_eq!(cursor_walk.all_levels(), run_copy.all_levels());
+            assert_eq!(cursor_walk.values(), run_copy.values(), "bands {bands:?}");
+        }
+    }
+
+    #[test]
+    fn lines_mut_round_trips_every_dimension() {
+        // Incrementing each cell once through the dimension-j line views
+        // must equal incrementing the flat values, for inner and outer j.
+        let base = Table::new(vec![vec![0, 1, 2], vec![0, 1], vec![0, 3, 5, 7]], 0.0);
+        for j in 0..base.dims() {
+            let mut t = base.clone();
+            for (i, v) in t.values_mut().iter_mut().enumerate() {
+                *v = i as f64;
+            }
+            let mut scratch = LineScratch::new();
+            let mut lines = t.lines_mut(j, &mut scratch);
+            assert_eq!(lines.line_len(), base.levels(j).len());
+            let mut seen = 0usize;
+            for line in lines.iter_mut() {
+                for v in line {
+                    *v += 100.0;
+                    seen += 1;
+                }
+            }
+            drop(lines);
+            assert_eq!(seen, t.len());
+            for (i, &v) in t.values().iter().enumerate() {
+                assert_eq!(v, i as f64 + 100.0, "j={j} cell {i}");
+            }
+        }
+        // The innermost views are zero-copy chunks of the flat slice.
+        let t = base.clone();
+        assert_eq!(t.lines().count(), t.len() / base.levels(2).len());
     }
 
     #[test]

@@ -17,6 +17,43 @@ fn has_key(json: &str, name: &str) -> bool {
     json.contains(&format!("\"{name}\":"))
 }
 
+/// Extract the number following `"name":` (same crudeness as
+/// [`has_key`]; bench writers emit each top-level key once, on its own
+/// line, with a plain decimal value).
+fn number_of(json: &str, name: &str) -> Option<f64> {
+    let tag = format!("\"{name}\":");
+    let rest = &json[json.find(&tag)? + tag.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[test]
+fn committed_speedups_never_drop_below_their_gates() {
+    // The committed BENCH_dp / BENCH_refine trajectories are full-mode
+    // records; their gated speedup fields must stay at or above the
+    // bench-enforced floors (re-running the full benches on a slower
+    // machine can move the numbers, but never below the gates the bench
+    // itself asserts — a lower committed value means someone recorded a
+    // gate-failing run). Quick-mode records gate nothing.
+    let floors: [(&str, &[(&str, f64)]); 2] = [
+        ("BENCH_dp.json", &[("reference_speedup", 2.0), ("kernel_speedup", 2.0)]),
+        ("BENCH_refine.json", &[("d3_speedup", 3.0), ("kernel_speedup", 2.0)]),
+    ];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (file, keys) in floors {
+        let path = root.join(file);
+        let body = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{file} unreadable: {e}"));
+        if !body.contains("\"quick\": false") {
+            continue; // quick smoke record: wall-clock gates don't apply
+        }
+        for &(key, floor) in keys {
+            let got = number_of(&body, key)
+                .unwrap_or_else(|| panic!("{file} is missing a numeric `{key}`"));
+            assert!(got >= floor, "{file}: {key} {got} fell below the committed floor {floor}");
+        }
+    }
+}
+
 #[test]
 fn all_bench_trajectories_carry_the_required_keys() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));

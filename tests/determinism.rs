@@ -107,6 +107,58 @@ fn schedules_identical_across_pipeline_parallelism_and_caching() {
 }
 
 #[test]
+fn scalar_and_simd_kernels_are_bit_identical_across_the_mode_matrix() {
+    // The kernel-layer contract: forcing every kernel (and the transform
+    // / band-slice layout paths) onto the scalar reference twins must
+    // reproduce the lanes solve **bit for bit** — same schedule, same
+    // cost bits — across the full mode matrix {pipeline} × {parallel} ×
+    // {cache} × {refine}. This is what lets the SIMD refactor ship
+    // without a tolerance bump anywhere.
+    use heterogeneous_rightsizing::offline::kernels::force_scalar;
+    use heterogeneous_rightsizing::offline::refine::RefineOptions;
+    let inst = scenario::diurnal_cpu_gpu(5, 2, 2, 12, 21);
+    let plain = Dispatcher::new();
+    for pipeline in [false, true] {
+        for parallel in [false, true] {
+            for refine in [false, true] {
+                for cached in [false, true] {
+                    let opts = DpOptions {
+                        pipeline,
+                        parallel,
+                        refine: refine.then(RefineOptions::exact),
+                        ..Default::default()
+                    };
+                    let run_mode = |scalar: bool| {
+                        force_scalar(scalar);
+                        let res = if cached {
+                            let cache = CachedDispatcher::new(&inst);
+                            solve(&inst, &cache, opts)
+                        } else {
+                            solve(&inst, &plain, opts)
+                        };
+                        force_scalar(false);
+                        res
+                    };
+                    let lanes = run_mode(false);
+                    let scalar = run_mode(true);
+                    let tag = format!(
+                        "pipeline={pipeline} parallel={parallel} refine={refine} cached={cached}"
+                    );
+                    assert_eq!(lanes.schedule, scalar.schedule, "schedule: {tag}");
+                    assert_eq!(
+                        lanes.cost.to_bits(),
+                        scalar.cost.to_bits(),
+                        "cost bits: {tag} ({} vs {})",
+                        lanes.cost,
+                        scalar.cost
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn online_schedules_identical_across_engine_and_caching() {
     // The online decision engine matrix: {engine on/off} × {cache
     // on/off} must commit the SAME schedule for Algorithms A (time-
