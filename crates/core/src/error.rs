@@ -113,6 +113,79 @@ impl fmt::Display for InstanceError {
 
 impl std::error::Error for InstanceError {}
 
+/// Why a solver entry point (`dp::try_solve`, `kkt::try_solve`) could not
+/// produce a solution. Unlike [`InstanceError`] — which describes a
+/// malformed *problem* — a `SolveError` describes an input or numerical
+/// condition that would previously have panicked (or silently produced
+/// garbage) inside the solver itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// A job volume handed to the solver is NaN, infinite, or negative.
+    MalformedLambda {
+        /// Offending slot (0-based), when the λ came from an instance;
+        /// `None` when it was passed directly (e.g. a single dispatch).
+        t: Option<usize>,
+        /// The bad value.
+        value: f64,
+    },
+    /// A configuration grid came out empty for some dimension, so the DP
+    /// has no states to price.
+    EmptyGrid {
+        /// Offending slot (0-based).
+        t: usize,
+        /// Offending dimension (server type index).
+        j: usize,
+    },
+    /// The KKT price-bracket search exhausted its doublings *and* the
+    /// saturation fallback could not place the volume: no allocation
+    /// within capacity serves `λ`.
+    BracketExhausted {
+        /// The volume that could not be placed.
+        lambda: f64,
+        /// Bracket doublings spent before giving up.
+        iterations: usize,
+    },
+    /// The underlying instance failed validation.
+    Infeasible(InstanceError),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::MalformedLambda { t: Some(t), value } => {
+                write!(f, "malformed job volume at slot {t}: {value}")
+            }
+            SolveError::MalformedLambda { t: None, value } => {
+                write!(f, "malformed job volume: {value}")
+            }
+            SolveError::EmptyGrid { t, j } => {
+                write!(f, "configuration grid is empty at slot {t}, dimension {j}")
+            }
+            SolveError::BracketExhausted { lambda, iterations } => write!(
+                f,
+                "price bracket exhausted after {iterations} doublings and \
+                 saturation cannot place volume {lambda}"
+            ),
+            SolveError::Infeasible(e) => write!(f, "instance infeasible: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Infeasible(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstanceError> for SolveError {
+    fn from(e: InstanceError) -> Self {
+        SolveError::Infeasible(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,7 @@ pub mod util;
 
 pub use config::Config;
 pub use cost::{CostFunction, CostModel, CostRef, CostSpec};
-pub use error::InstanceError;
+pub use error::{InstanceError, SolveError};
 pub use instance::{Instance, InstanceBuilder};
 pub use objective::{CostBreakdown, GtOracle, SlotEval};
 pub use schedule::Schedule;
@@ -47,7 +47,7 @@ pub use server::ServerType;
 pub mod prelude {
     pub use crate::config::Config;
     pub use crate::cost::{CostFunction, CostModel, CostRef, CostSpec};
-    pub use crate::error::InstanceError;
+    pub use crate::error::{InstanceError, SolveError};
     pub use crate::instance::{Instance, InstanceBuilder};
     pub use crate::objective::{CostBreakdown, GtOracle, SlotEval};
     pub use crate::schedule::Schedule;

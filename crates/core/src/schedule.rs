@@ -133,8 +133,12 @@ impl Schedule {
                     });
                 }
             }
+            // Same feasibility tolerance as the dispatch oracle (which
+            // prices a config finite iff load ≤ cap·(1+1e-12)+1e-12):
+            // loads carrying float noise from trace arithmetic must not
+            // pass the solver and then fail validation here.
             let cap = x.capacity(instance.types());
-            if cap < instance.load(t) {
+            if cap * (1.0 + 1e-12) + 1e-12 < instance.load(t) {
                 return Err(InstanceError::InfeasibleSchedule {
                     t,
                     reason: format!("capacity {cap} < load {}", instance.load(t)),

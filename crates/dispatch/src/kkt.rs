@@ -50,6 +50,31 @@ pub fn solve(arms: &[Arm<'_>], lambda: f64, tol: f64, max_iter: usize) -> Dispat
     solve_warm(arms, lambda, tol, max_iter, None).0
 }
 
+/// Fallible [`solve`]: a malformed volume (NaN, infinite, or negative)
+/// is rejected up front as [`rsz_core::SolveError::MalformedLambda`]
+/// instead of spinning the bracket search on it, and an exhausted
+/// bracket whose saturation fallback cannot place the volume surfaces as
+/// [`rsz_core::SolveError::BracketExhausted`] instead of an infinite
+/// cost the caller has to know to check for.
+pub fn try_solve(
+    arms: &[Arm<'_>],
+    lambda: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<DispatchSolution, rsz_core::SolveError> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(rsz_core::SolveError::MalformedLambda { t: None, value: lambda });
+    }
+    let solution = solve(arms, lambda, tol, max_iter);
+    if !solution.is_feasible() {
+        return Err(rsz_core::SolveError::BracketExhausted {
+            lambda,
+            iterations: MAX_BRACKET_DOUBLINGS,
+        });
+    }
+    Ok(solution)
+}
+
 /// [`solve`] with an optional warm-start bracket from a neighbouring
 /// solve (see [`Bracket`]). Returns the solution together with the final
 /// bracket to seed the next cell of the sweep (`None` when the run fell

@@ -77,6 +77,11 @@ pub struct DpOptions {
     /// the unrestricted solve's (property-tested) while per-slot work
     /// scales with band volume instead of grid volume.
     pub refine: Option<crate::refine::RefineOptions>,
+    /// Retention bound of the engine's priced-slot pool. `None` uses
+    /// [`crate::engine::DEFAULT_POOL_CAP`]; an explicit bound is the
+    /// fault-injection harness's lever for eviction storms (and a memory
+    /// knob for embedders). Ignored when [`DpOptions::engine`] is off.
+    pub pool_capacity: Option<usize>,
 }
 
 /// Schedule-recovery policy of [`solve`].
@@ -111,6 +116,7 @@ impl Default for DpOptions {
             engine: false,
             recovery: RecoveryMode::Auto,
             refine: None,
+            pool_capacity: None,
         }
     }
 }
@@ -184,6 +190,51 @@ pub fn solve(instance: &Instance, oracle: &(impl GtOracle + Sync), options: DpOp
         return crate::refine::solve_refined(instance, oracle, options).0;
     }
     crate::pipeline::solve_checkpointed(instance, oracle, options).0
+}
+
+/// Fallible [`solve`]: validate the instance and the per-slot grids
+/// before touching the DP, so malformed inputs surface as a
+/// [`rsz_core::SolveError`] instead of a panic deep inside the solver.
+///
+/// Checks, in order: instance validation
+/// ([`rsz_core::SolveError::Infeasible`]), every load finite and
+/// non-negative ([`rsz_core::SolveError::MalformedLambda`] with its
+/// slot), and every slot's candidate grid non-empty
+/// ([`rsz_core::SolveError::EmptyGrid`] — defensive; the built-in
+/// [`GridMode`]s always include level 0).
+pub fn try_solve(
+    instance: &Instance,
+    oracle: &(impl GtOracle + Sync),
+    options: DpOptions,
+) -> Result<DpResult, rsz_core::SolveError> {
+    validate_for_solve(instance, options)?;
+    Ok(solve(instance, oracle, options))
+}
+
+/// The shared pre-flight of [`try_solve`] (also used by the online
+/// degradation ladder before it commits to an exact solve).
+pub fn validate_for_solve(
+    instance: &Instance,
+    options: DpOptions,
+) -> Result<(), rsz_core::SolveError> {
+    instance.validate()?;
+    for (t, &lambda) in instance.loads().iter().enumerate() {
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(rsz_core::SolveError::MalformedLambda { t: Some(t), value: lambda });
+        }
+    }
+    let fine = options.refine.map_or(options.grid, |r| r.target);
+    let slots = if instance.has_time_varying_counts() { instance.horizon() } else { 1 };
+    let mut levels = Vec::new();
+    for t in 0..slots {
+        for j in 0..instance.num_types() {
+            fine.fill_levels(instance.server_count(t, j), &mut levels);
+            if levels.is_empty() {
+                return Err(rsz_core::SolveError::EmptyGrid { t, j });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// [`solve`] returning the recovery memory accounting alongside the

@@ -42,6 +42,8 @@ use rsz_core::{GtOracle, Instance};
 
 use crate::table::{GridCursor, Table};
 
+pub mod snapshot;
+
 /// Default retention bound of a [`PricedSlotPool`] — enough for a year
 /// of hourly slots of distinct λ on a diurnal trace, while bounding the
 /// worst case (adversarially unique loads) to `capacity · |grid|` floats.
@@ -186,6 +188,18 @@ impl PricedSlotPool {
             slice_hits: self.slice_hits,
             pooled_slots: self.entries.len(),
         }
+    }
+
+    /// Restore the pricing counters of a snapshotted pool onto this
+    /// (freshly rebuilt, empty) one. Entries are deliberately **not**
+    /// restored: pricing is a pure function of
+    /// `(instance, oracle, t, λ, grid)`, so a restored run re-prices on
+    /// demand and still produces bit-identical tables — only the
+    /// hit-rate accounting carries over.
+    pub fn restore_counters(&mut self, pricings: u64, pool_hits: u64, slice_hits: u64) {
+        self.pricings = pricings;
+        self.hits = pool_hits;
+        self.slice_hits = slice_hits;
     }
 
     /// The pool key for slot `t` priced at volume `lambda` over the

@@ -41,7 +41,8 @@ use std::sync::Arc;
 use rsz_core::{Config, GtOracle, Instance};
 
 use crate::dp::{betas, price_cells, DpOptions};
-use crate::engine::{add_priced, EngineStats, PricedSlotPool};
+use crate::engine::snapshot::{self, Decoder, Encoder, SnapshotError};
+use crate::engine::{add_priced, EngineStats, PricedSlotPool, DEFAULT_POOL_CAP};
 use crate::table::Table;
 use crate::transform::{arrival_transform_inplace, TransformScratch};
 
@@ -85,7 +86,12 @@ impl PrefixDp {
             slot_invariant: !instance.has_time_varying_counts(),
             scratch: TransformScratch::new(),
             counts: Vec::with_capacity(d),
-            pool: options.engine.then(|| PricedSlotPool::new(instance)),
+            pool: options.engine.then(|| {
+                PricedSlotPool::with_capacity(
+                    instance,
+                    options.pool_capacity.unwrap_or(DEFAULT_POOL_CAP),
+                )
+            }),
             last_priced: None,
             slots_processed: 0,
         }
@@ -235,6 +241,85 @@ impl PrefixDp {
     /// (the crate-shared mixed-radix decode; allocation-free once warm).
     fn fill_counts(&mut self, idx: usize) {
         crate::grid::decode_counts(self.table.all_levels(), idx, &mut self.counts);
+    }
+
+    /// Serialize the resumable state into `enc`: the step counter, the
+    /// live table `OPT_t(·)` (exact `f64` bit patterns), and — in engine
+    /// mode — the pool's retention bound and pricing counters.
+    ///
+    /// Everything else (`spare`, transform scratch, cached levels, the
+    /// last priced slot) is rebuilt lazily on the first post-restore
+    /// step, and pool *entries* re-price deterministically; restoring
+    /// into a [`PrefixDp`] built with the same options and stepping the
+    /// remaining slots is bit-identical to never having stopped
+    /// (property-tested).
+    pub fn save_state(&self, enc: &mut Encoder) {
+        enc.put_usize(self.slots_processed);
+        snapshot::encode_table(enc, &self.table);
+        match &self.pool {
+            None => enc.put_u8(0),
+            Some(pool) => {
+                enc.put_u8(1);
+                let s = pool.stats();
+                enc.put_usize(pool.capacity());
+                enc.put_u64(s.pricings);
+                enc.put_u64(s.pool_hits);
+                enc.put_u64(s.slice_hits);
+            }
+        }
+    }
+
+    /// Restore state written by [`PrefixDp::save_state`] into this
+    /// solver, which must have been built against the same `instance`
+    /// with the same engine mode. The next [`PrefixDp::step`] must be
+    /// given `t == slots_processed()`.
+    pub fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        let slots = dec.take_usize()?;
+        let table = snapshot::decode_table(dec)?;
+        if table.dims() != instance.num_types() {
+            return Err(SnapshotError::Corrupt("table dimensions do not match the instance"));
+        }
+        // The counter counts (sub-)slot steps: sub-slot refinement
+        // (Algorithm C) legitimately pushes it past the horizon, so only
+        // reject values no refinement could produce.
+        if slots > instance.horizon().saturating_mul(1 << 20) {
+            return Err(SnapshotError::Corrupt("step counter out of range"));
+        }
+        let pool = match dec.take_u8()? {
+            0 => {
+                if self.options.engine {
+                    return Err(SnapshotError::Corrupt("snapshot was taken with the engine off"));
+                }
+                None
+            }
+            1 => {
+                if !self.options.engine {
+                    return Err(SnapshotError::Corrupt("snapshot was taken with the engine on"));
+                }
+                let cap = dec.take_usize()?;
+                let pricings = dec.take_u64()?;
+                let pool_hits = dec.take_u64()?;
+                let slice_hits = dec.take_u64()?;
+                if cap == 0 || cap > (1 << 32) {
+                    return Err(SnapshotError::Corrupt("pool capacity out of range"));
+                }
+                let mut pool = PricedSlotPool::with_capacity(instance, cap);
+                pool.restore_counters(pricings, pool_hits, slice_hits);
+                Some(pool)
+            }
+            _ => return Err(SnapshotError::Corrupt("unknown pool tag")),
+        };
+        self.table = table;
+        self.pool = pool;
+        self.slots_processed = slots;
+        // Scratch state is rebuilt on the next step.
+        self.levels_cached = false;
+        self.last_priced = None;
+        Ok(())
     }
 }
 

@@ -26,7 +26,10 @@
 //!   priced-slot pool.
 //! * [`engine`] — the online decision engine's pricing layer: whole-grid
 //!   `g_t` tables priced once via the warm-started sweep path and
-//!   retained in a bounded `(slot partition, λ, grid)` pool.
+//!   retained in a bounded `(slot partition, λ, grid)` pool; its
+//!   [`engine::snapshot`] submodule serializes resumable engine state
+//!   into versioned, checksummed snapshots so interrupted online runs
+//!   restart bit-identically.
 //! * [`refine`] — the coarse-to-fine **corridor solver**: a cheap
 //!   `Γ(γ₀)` coarse solve localizes the optimum, the DP then runs on
 //!   per-slot bands of the fine grid only, and an exactness-guarded
@@ -62,7 +65,11 @@ pub mod table;
 pub mod transform;
 
 pub use approx::{approximate, ApproxResult};
-pub use dp::{solve, solve_cost_only, solve_with_stats, DpOptions, DpResult, RecoveryMode};
+pub use dp::{
+    solve, solve_cost_only, solve_with_stats, try_solve, validate_for_solve, DpOptions, DpResult,
+    RecoveryMode,
+};
+pub use engine::snapshot::{Decoder, Encoder, SnapshotError};
 pub use engine::{EngineStats, PricedSlot, PricedSlotPool};
 pub use graph::{solve as solve_graph, GraphResult};
 pub use grid::GridMode;

@@ -96,10 +96,32 @@ impl ActuationPlan {
 ///
 /// # Panics
 /// Panics if the schedule is infeasible for the instance (callers hold a
-/// feasibility proof from [`Schedule::check_feasible`]).
+/// feasibility proof from [`Schedule::check_feasible`]); fallible
+/// callers — anything fed from external traces or event streams — use
+/// [`try_actuate`].
 #[must_use]
 pub fn actuate(instance: &Instance, schedule: &Schedule, policy: DownPolicy) -> ActuationPlan {
     schedule.check_feasible(instance).expect("actuate requires a feasible schedule");
+    actuate_unchecked(instance, schedule, policy)
+}
+
+/// [`actuate`] without the panic: an infeasible schedule (overfull
+/// counts after a capacity event, volume exceeding fleet capacity)
+/// comes back as the structured [`rsz_core::InstanceError`] instead.
+pub fn try_actuate(
+    instance: &Instance,
+    schedule: &Schedule,
+    policy: DownPolicy,
+) -> Result<ActuationPlan, rsz_core::InstanceError> {
+    schedule.check_feasible(instance)?;
+    Ok(actuate_unchecked(instance, schedule, policy))
+}
+
+fn actuate_unchecked(
+    instance: &Instance,
+    schedule: &Schedule,
+    policy: DownPolicy,
+) -> ActuationPlan {
     let d = instance.num_types();
     let mut commands = Vec::new();
     // Active stacks per type: server ids in power-up order (oldest first).

@@ -23,8 +23,9 @@
 //! ```
 
 use rsz_core::{Config, GtOracle, Instance};
-use rsz_offline::{DpOptions, GridMode, PrefixDp};
+use rsz_offline::{Decoder, DpOptions, Encoder, GridMode, PrefixDp, SnapshotError};
 
+use crate::checkpoint::{codec, Checkpoint};
 use crate::runner::OnlineAlgorithm;
 
 /// Options for [`AlgorithmA`].
@@ -51,6 +52,10 @@ pub struct AOptions {
     /// window. Needed by the block decomposition ([`crate::blocks`]);
     /// off by default so long-horizon controllers run in `O(max t̄·d)`.
     pub keep_power_up_log: bool,
+    /// Priced-slot pool retention bound for the engine (`None` = the
+    /// engine default). Tiny values force constant re-pricing — the
+    /// chaos suite's eviction storm — without ever changing decisions.
+    pub pool_capacity: Option<usize>,
 }
 
 impl Default for AOptions {
@@ -62,6 +67,7 @@ impl Default for AOptions {
             pipeline: false,
             engine: false,
             keep_power_up_log: false,
+            pool_capacity: None,
         }
     }
 }
@@ -77,6 +83,7 @@ impl AOptions {
             pipeline: self.pipeline,
             threads: self.threads,
             engine: self.engine,
+            pool_capacity: self.pool_capacity,
             ..DpOptions::default()
         }
     }
@@ -255,6 +262,97 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for AlgorithmA<O> {
         }
         self.steps += 1;
         Config::new(self.x.clone())
+    }
+}
+
+impl<O: GtOracle + Sync> Checkpoint for AlgorithmA<O> {
+    fn algo_tag(&self) -> &'static str {
+        "algo-a"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        self.prefix.save_state(enc);
+        enc.put_usize(self.steps);
+        codec::put_u32s(enc, &self.x);
+        enc.put_usize(self.ring.len());
+        for row in &self.ring {
+            codec::put_u32s(enc, row);
+        }
+        match &self.full_log {
+            None => enc.put_u8(0),
+            Some(log) => {
+                enc.put_u8(1);
+                enc.put_usize(log.len());
+                for row in log {
+                    codec::put_u32s(enc, row);
+                }
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.prefix.restore_state(instance, dec)?;
+        let steps = dec.take_usize()?;
+        if steps > instance.horizon() {
+            return Err(SnapshotError::Corrupt("step counter exceeds the horizon"));
+        }
+        let d = instance.num_types();
+        let x = codec::take_u32s(dec, d)?;
+        if x.len() != d {
+            return Err(SnapshotError::Corrupt("active-count vector has the wrong dimension"));
+        }
+        let rows = dec.take_usize()?;
+        if rows != self.ring.len() {
+            return Err(SnapshotError::Corrupt("power-up ring size does not match the instance"));
+        }
+        let mut ring = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let row = codec::take_u32s(dec, d)?;
+            if row.len() != d {
+                return Err(SnapshotError::Corrupt("power-up row has the wrong dimension"));
+            }
+            ring.push(row);
+        }
+        let full_log = match dec.take_u8()? {
+            0 => {
+                if self.full_log.is_some() {
+                    return Err(SnapshotError::Corrupt(
+                        "snapshot was taken without the power-up log",
+                    ));
+                }
+                None
+            }
+            1 => {
+                if self.full_log.is_none() {
+                    return Err(SnapshotError::Corrupt("snapshot was taken with the power-up log"));
+                }
+                let n = dec.take_usize()?;
+                if n != steps {
+                    return Err(SnapshotError::Corrupt(
+                        "power-up log length does not match the step counter",
+                    ));
+                }
+                let mut log = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let row = codec::take_u32s(dec, d)?;
+                    if row.len() != d {
+                        return Err(SnapshotError::Corrupt("power-up row has the wrong dimension"));
+                    }
+                    log.push(row);
+                }
+                Some(log)
+            }
+            _ => return Err(SnapshotError::Corrupt("unknown option tag")),
+        };
+        self.x = x;
+        self.ring = ring;
+        self.full_log = full_log;
+        self.steps = steps;
+        Ok(())
     }
 }
 

@@ -16,9 +16,10 @@
 //! `(2d+1+c(I))`-competitive with `c(I) = Σ_j max_t l_{t,j}/β_j`.
 
 use rsz_core::{Config, GtOracle, Instance};
-use rsz_offline::PrefixDp;
+use rsz_offline::{Decoder, Encoder, PrefixDp, SnapshotError};
 
 use crate::algo_a::AOptions;
+use crate::checkpoint::{codec, Checkpoint};
 use crate::runner::OnlineAlgorithm;
 
 /// A batch of servers of one type powered up at the same (sub-)slot.
@@ -150,6 +151,80 @@ impl BCore {
         }
     }
 
+    /// Serialize the resumable core: prefix solver, active counts, the
+    /// live batches with their accumulated idle costs (exact `f64` bit
+    /// patterns), the power-up log, and the (sub-)slot counter.
+    pub fn save_state(&self, enc: &mut Encoder) {
+        self.prefix.save_state(enc);
+        enc.put_usize(self.steps);
+        codec::put_u32s(enc, &self.x);
+        enc.put_usize(self.batches.len());
+        for per_type in &self.batches {
+            enc.put_usize(per_type.len());
+            for b in per_type {
+                enc.put_f64(b.acc);
+                enc.put_u32(b.count);
+            }
+        }
+        enc.put_usize(self.power_ups.len());
+        for &(step, j, count) in &self.power_ups {
+            enc.put_usize(step);
+            enc.put_usize(j);
+            enc.put_u32(count);
+        }
+    }
+
+    /// Restore state written by [`BCore::save_state`] into a core built
+    /// against the same `instance` with the same options.
+    pub fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.prefix.restore_state(instance, dec)?;
+        let steps = dec.take_usize()?;
+        let d = instance.num_types();
+        let x = codec::take_u32s(dec, d)?;
+        if x.len() != d {
+            return Err(SnapshotError::Corrupt("active-count vector has the wrong dimension"));
+        }
+        if dec.take_usize()? != d {
+            return Err(SnapshotError::Corrupt("batch table has the wrong dimension"));
+        }
+        let mut batches = Vec::with_capacity(d);
+        for &active in x.iter().take(d) {
+            let n = dec.take_usize()?;
+            let mut per_type = Vec::with_capacity(n.min(1024));
+            let mut total = 0u64;
+            for _ in 0..n {
+                let acc = dec.take_f64()?;
+                let count = dec.take_u32()?;
+                total += u64::from(count);
+                per_type.push(Batch { acc, count });
+            }
+            if total != u64::from(active) {
+                return Err(SnapshotError::Corrupt("batch counts do not sum to the active count"));
+            }
+            batches.push(per_type);
+        }
+        let n = dec.take_usize()?;
+        let mut power_ups = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let step = dec.take_usize()?;
+            let j = dec.take_usize()?;
+            let count = dec.take_u32()?;
+            if j >= d || step > steps {
+                return Err(SnapshotError::Corrupt("power-up event out of range"));
+            }
+            power_ups.push((step, j, count));
+        }
+        self.x = x;
+        self.batches = batches;
+        self.power_ups = power_ups;
+        self.steps = steps;
+        Ok(())
+    }
+
     /// Power-ups toward the target configuration in `self.target`.
     fn raise_to_target(&mut self) {
         for j in 0..self.x.len() {
@@ -196,6 +271,24 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for AlgorithmB<O> {
 
     fn decide(&mut self, instance: &Instance, t: usize) -> Config {
         self.core.step(instance, &self.oracle, t, instance.load(t), 1.0)
+    }
+}
+
+impl<O: GtOracle + Sync> Checkpoint for AlgorithmB<O> {
+    fn algo_tag(&self) -> &'static str {
+        "algo-b"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        self.core.save_state(enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.core.restore_state(instance, dec)
     }
 }
 

@@ -22,9 +22,11 @@
 //! guarantee `2d+1+c(Ĩ)` is always reportable.
 
 use rsz_core::{Config, GtOracle, Instance};
+use rsz_offline::{Decoder, Encoder, SnapshotError};
 
 use crate::algo_a::AOptions;
 use crate::algo_b::BCore;
+use crate::checkpoint::Checkpoint;
 use crate::runner::OnlineAlgorithm;
 
 /// Options for [`AlgorithmC`].
@@ -188,6 +190,55 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for AlgorithmC<O> {
             }
         }
         best.expect("ñ_t ≥ 1").1
+    }
+}
+
+impl<O: GtOracle + Sync> Checkpoint for AlgorithmC<O> {
+    fn algo_tag(&self) -> &'static str {
+        "algo-c"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        self.core.save_state(enc);
+        enc.put_usize(self.realized_c.len());
+        for &c in &self.realized_c {
+            enc.put_f64(c);
+        }
+        enc.put_usize(self.subslot_log.len());
+        for &n in &self.subslot_log {
+            enc.put_usize(n);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.core.restore_state(instance, dec)?;
+        let d = instance.num_types();
+        if dec.take_usize()? != d {
+            return Err(SnapshotError::Corrupt("realized-c vector has the wrong dimension"));
+        }
+        let mut realized_c = Vec::with_capacity(d);
+        for _ in 0..d {
+            realized_c.push(dec.take_f64()?);
+        }
+        let n = dec.take_usize()?;
+        if n > instance.horizon() {
+            return Err(SnapshotError::Corrupt("sub-slot log exceeds the horizon"));
+        }
+        let mut subslot_log = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = dec.take_usize()?;
+            if c == 0 || c > self.options.max_subslots {
+                return Err(SnapshotError::Corrupt("sub-slot count out of range"));
+            }
+            subslot_log.push(c);
+        }
+        self.realized_c = realized_c;
+        self.subslot_log = subslot_log;
+        Ok(())
     }
 }
 

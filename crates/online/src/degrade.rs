@@ -1,0 +1,334 @@
+//! Graceful degradation for online controllers.
+//!
+//! A production controller has a *deadline* per decision: the slot
+//! boundary arrives whether or not the prefix DP finished. Instead of
+//! missing it (or panicking), [`GracefulDegrader`] wraps any
+//! [`OnlineAlgorithm`] in a three-rung ladder and walks **down** it when
+//! a decision overruns its budget:
+//!
+//! | rung | decision | guarantee |
+//! |------|----------|-----------|
+//! | [`Rung::Exact`] | the wrapped controller, full grid | the wrapped algorithm's |
+//! | [`Rung::Coarse`] | same controller rebuilt on `Γ(γ₀)` and replayed | approximation per Theorem 16's grid bound |
+//! | [`Rung::Hold`] | previous decision, clamped to the fleet and raised to feasibility | feasibility only |
+//!
+//! Descent is one-way (no flapping back up under an oscillating load of
+//! deadline misses) and deterministic: the rung sequence depends only on
+//! measured decision times, and with [`DegradeOptions::deadline`] `=
+//! None` the wrapper is a transparent shim — the committed schedule is
+//! bit-identical to the wrapped controller's (property-tested).
+//!
+//! Saturated slots — arriving load within rounding of the entire
+//! fleet's capacity, the regime capacity events (`rsz_workloads`'s
+//! event stream) clamp into — are recorded as structured
+//! [`SaturationEvent`]s rather than asserted on, whatever the rung.
+
+use std::time::{Duration, Instant};
+
+use rsz_core::{Config, Instance};
+use rsz_offline::GridMode;
+
+use crate::runner::OnlineAlgorithm;
+
+/// A rung of the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rung {
+    /// The wrapped controller on its configured grid.
+    Exact,
+    /// The wrapped controller rebuilt on the coarse `Γ(γ₀)` grid.
+    Coarse,
+    /// Hold the previous decision (clamped and raised to feasibility).
+    Hold,
+}
+
+/// Options for [`GracefulDegrader`].
+#[derive(Clone, Copy, Debug)]
+pub struct DegradeOptions {
+    /// Per-decision time budget. `None` disables the ladder: every slot
+    /// is decided on [`Rung::Exact`] and the wrapper is transparent.
+    pub deadline: Option<Duration>,
+    /// `γ₀` of the coarse rung's `Γ(γ₀)` grid.
+    pub coarse_gamma: f64,
+}
+
+impl Default for DegradeOptions {
+    fn default() -> Self {
+        Self { deadline: None, coarse_gamma: 2.0 }
+    }
+}
+
+/// One saturated slot: the load filled (or exceeded rounding distance
+/// of) the whole fleet's capacity, so every rung decides "all on" and
+/// the overflow, if any, is physics rather than a controller bug.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SaturationEvent {
+    /// Slot index.
+    pub t: usize,
+    /// Arriving load.
+    pub load: f64,
+    /// Total fleet capacity at `t`.
+    pub capacity: f64,
+}
+
+/// Per-rung decision counters plus the saturation log.
+#[derive(Clone, Debug, Default)]
+pub struct DegradeStats {
+    /// Slots decided on [`Rung::Exact`].
+    pub exact: u64,
+    /// Slots decided on [`Rung::Coarse`].
+    pub coarse: u64,
+    /// Slots decided on [`Rung::Hold`].
+    pub hold: u64,
+    /// Slots where the load saturated the fleet.
+    pub saturated: Vec<SaturationEvent>,
+}
+
+impl DegradeStats {
+    /// Total decisions recorded.
+    #[must_use]
+    pub fn decisions(&self) -> u64 {
+        self.exact + self.coarse + self.hold
+    }
+}
+
+/// Deadline-driven degradation wrapper. `factory` rebuilds the wrapped
+/// controller type on an arbitrary grid — the coarse rung uses it to
+/// construct a `Γ(γ₀)` twin and replays all previously committed slots
+/// through it (an online-safe catch-up: replay only reads the prefix).
+pub struct GracefulDegrader<A, F> {
+    inner: A,
+    factory: F,
+    options: DegradeOptions,
+    coarse: Option<A>,
+    rung: Rung,
+    last: Option<Config>,
+    stats: DegradeStats,
+}
+
+impl<A, F> GracefulDegrader<A, F>
+where
+    A: OnlineAlgorithm,
+    F: FnMut(&Instance, GridMode) -> A,
+{
+    /// Wrap `inner`, keeping `factory` for coarse-rung rebuilds.
+    #[must_use]
+    pub fn new(inner: A, factory: F, options: DegradeOptions) -> Self {
+        Self {
+            inner,
+            factory,
+            options,
+            coarse: None,
+            rung: Rung::Exact,
+            last: None,
+            stats: DegradeStats::default(),
+        }
+    }
+
+    /// The rung the next decision will run on.
+    #[must_use]
+    pub fn rung(&self) -> Rung {
+        self.rung
+    }
+
+    /// Decision counters per rung and the saturation log.
+    #[must_use]
+    pub fn stats(&self) -> &DegradeStats {
+        &self.stats
+    }
+
+    /// The wrapped (exact-rung) controller.
+    #[must_use]
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Record saturation and descend one rung if the decision overran
+    /// its budget.
+    fn after_decision(&mut self, instance: &Instance, t: usize, elapsed: Duration) {
+        let load = instance.load(t);
+        let capacity = instance.max_capacity_at(t);
+        if load >= capacity - 1e-9 * capacity.abs().max(1.0) && load > 0.0 {
+            self.stats.saturated.push(SaturationEvent { t, load, capacity });
+        }
+        if let Some(deadline) = self.options.deadline {
+            if elapsed > deadline {
+                self.rung = match self.rung {
+                    Rung::Exact => Rung::Coarse,
+                    Rung::Coarse | Rung::Hold => Rung::Hold,
+                };
+            }
+        }
+    }
+
+    /// The hold rung: repeat the previous decision, clamped to the
+    /// current fleet bounds (capacity events shrink them mid-horizon),
+    /// powering up to the full fleet when the held configuration can no
+    /// longer serve the arriving load.
+    fn hold_decision(&self, instance: &Instance, t: usize) -> Config {
+        let d = instance.num_types();
+        let mut counts: Vec<u32> = match &self.last {
+            Some(c) => (0..d).map(|j| c.count(j).min(instance.server_count(t, j))).collect(),
+            None => vec![0; d],
+        };
+        let capacity: f64 = (0..d).map(|j| f64::from(counts[j]) * instance.capacity(j)).sum();
+        if capacity < instance.load(t) {
+            counts = (0..d).map(|j| instance.server_count(t, j)).collect();
+        }
+        Config::new(counts)
+    }
+}
+
+impl<A, F> OnlineAlgorithm for GracefulDegrader<A, F>
+where
+    A: OnlineAlgorithm,
+    F: FnMut(&Instance, GridMode) -> A,
+{
+    fn name(&self) -> String {
+        format!("degrade({})", self.inner.name())
+    }
+
+    fn decide(&mut self, instance: &Instance, t: usize) -> Config {
+        let start = Instant::now();
+        let choice = match self.rung {
+            Rung::Exact => {
+                self.stats.exact += 1;
+                self.inner.decide(instance, t)
+            }
+            Rung::Coarse => {
+                if self.coarse.is_none() {
+                    // First coarse decision: build the Γ(γ₀) twin and
+                    // replay the committed prefix so it is caught up.
+                    let mut twin =
+                        (self.factory)(instance, GridMode::Gamma(self.options.coarse_gamma));
+                    for u in 0..t {
+                        let _ = twin.decide(instance, u);
+                    }
+                    self.coarse = Some(twin);
+                }
+                self.stats.coarse += 1;
+                self.coarse.as_mut().expect("built above").decide(instance, t)
+            }
+            Rung::Hold => {
+                self.stats.hold += 1;
+                self.hold_decision(instance, t)
+            }
+        };
+        let elapsed = start.elapsed();
+        self.after_decision(instance, t, elapsed);
+        self.last = Some(choice.clone());
+        choice
+    }
+}
+
+impl<A: std::fmt::Debug, F> std::fmt::Debug for GracefulDegrader<A, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GracefulDegrader")
+            .field("inner", &self.inner)
+            .field("options", &self.options)
+            .field("rung", &self.rung)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo_a::{AOptions, AlgorithmA};
+    use crate::runner::run;
+    use rsz_core::{CostModel, ServerType};
+    use rsz_dispatch::Dispatcher;
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .server_type(ServerType::new("b", 2, 4.0, 2.0, CostModel::constant(1.2)))
+            .loads(vec![1.0, 4.0, 0.0, 2.0, 7.0, 1.0, 0.0, 3.0])
+            .build()
+            .unwrap()
+    }
+
+    fn wrap(
+        inst: &Instance,
+        options: DegradeOptions,
+    ) -> GracefulDegrader<
+        AlgorithmA<Dispatcher>,
+        impl FnMut(&Instance, GridMode) -> AlgorithmA<Dispatcher>,
+    > {
+        let inner = AlgorithmA::new(inst, Dispatcher::new(), AOptions::default());
+        GracefulDegrader::new(
+            inner,
+            |instance, grid| {
+                AlgorithmA::new(
+                    instance,
+                    Dispatcher::new(),
+                    AOptions { grid, ..AOptions::default() },
+                )
+            },
+            options,
+        )
+    }
+
+    #[test]
+    fn no_deadline_is_transparent() {
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let mut plain = AlgorithmA::new(&inst, oracle, AOptions::default());
+        let want = run(&inst, &mut plain, &oracle);
+        let mut wrapped = wrap(&inst, DegradeOptions::default());
+        let got = run(&inst, &mut wrapped, &oracle);
+        assert_eq!(want.schedule, got.schedule);
+        assert_eq!(wrapped.stats().exact, inst.horizon() as u64);
+        assert_eq!(wrapped.stats().coarse, 0);
+        assert_eq!(wrapped.stats().hold, 0);
+    }
+
+    #[test]
+    fn zero_deadline_walks_the_whole_ladder() {
+        // Every decision overruns a zero budget: slot 0 exact, slot 1
+        // coarse (after a replay catch-up), slots 2+ hold.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let mut wrapped =
+            wrap(&inst, DegradeOptions { deadline: Some(Duration::ZERO), coarse_gamma: 1.5 });
+        let outcome = run(&inst, &mut wrapped, &oracle);
+        outcome.schedule.check_feasible(&inst).unwrap();
+        let stats = wrapped.stats();
+        assert_eq!(stats.exact, 1);
+        assert_eq!(stats.coarse, 1);
+        assert_eq!(stats.hold, inst.horizon() as u64 - 2);
+        assert_eq!(wrapped.rung(), Rung::Hold);
+    }
+
+    #[test]
+    fn saturated_slots_are_reported_not_asserted() {
+        // Slot 4's load of 7.0 equals the full fleet capacity
+        // 3·1 + 2·2 = 7: the degrader must log it, on every rung.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        for deadline in [None, Some(Duration::ZERO)] {
+            let mut wrapped = wrap(&inst, DegradeOptions { deadline, coarse_gamma: 2.0 });
+            let outcome = run(&inst, &mut wrapped, &oracle);
+            outcome.schedule.check_feasible(&inst).unwrap();
+            let sat = &wrapped.stats().saturated;
+            assert_eq!(sat.len(), 1, "deadline {deadline:?}");
+            assert_eq!(sat[0].t, 4);
+            assert!((sat[0].capacity - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hold_rung_powers_up_for_rising_load() {
+        // Force hold from slot 2 on; the held config from slot 1 cannot
+        // serve slot 4's full-capacity spike, so the hold rung must
+        // power up to the whole fleet instead of going infeasible.
+        let inst = instance();
+        let oracle = Dispatcher::new();
+        let mut wrapped =
+            wrap(&inst, DegradeOptions { deadline: Some(Duration::ZERO), coarse_gamma: 2.0 });
+        let outcome = run(&inst, &mut wrapped, &oracle);
+        outcome.schedule.check_feasible(&inst).unwrap();
+        let spike = outcome.schedule.config(4);
+        assert_eq!(spike.counts(), &[3, 2], "hold must saturate to the fleet on the spike");
+    }
+}

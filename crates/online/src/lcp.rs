@@ -12,8 +12,9 @@
 //! the experiments; the heterogeneous algorithms are Sections 2–3.
 
 use rsz_core::{Config, GtOracle, Instance};
-use rsz_offline::{DpOptions, GridMode, PrefixDp};
+use rsz_offline::{Decoder, DpOptions, Encoder, GridMode, PrefixDp, SnapshotError};
 
+use crate::checkpoint::Checkpoint;
 use crate::runner::OnlineAlgorithm;
 
 /// Discrete lazy capacity provisioning (homogeneous fleets only).
@@ -88,6 +89,31 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for LazyCapacityProvisioning<O> {
         // Lazy projection onto the corridor.
         self.x = self.x.clamp(lower, upper.max(lower));
         Config::new(vec![self.x])
+    }
+}
+
+impl<O: GtOracle + Sync> Checkpoint for LazyCapacityProvisioning<O> {
+    fn algo_tag(&self) -> &'static str {
+        "lcp"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        self.prefix.save_state(enc);
+        enc.put_u32(self.x);
+    }
+
+    fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.prefix.restore_state(instance, dec)?;
+        let x = dec.take_u32()?;
+        if u64::from(x) > u64::from(instance.max_counts()[0]) {
+            return Err(SnapshotError::Corrupt("active count exceeds the fleet bound"));
+        }
+        self.x = x;
+        Ok(())
     }
 }
 

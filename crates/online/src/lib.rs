@@ -22,6 +22,14 @@
 //! * [`actuation`] — materializes count schedules into per-server power
 //!   commands with wear-leveling policies (the integration surface a
 //!   cluster controller consumes).
+//! * [`checkpoint`] — snapshot/restore for every shipping controller:
+//!   interrupted runs restart mid-horizon and continue bit-identically
+//!   (versioned, checksummed envelopes via `rsz_offline`'s snapshot
+//!   layer).
+//! * [`degrade`] — the graceful-degradation ladder: per-decision
+//!   deadline budgets falling back exact → `Γ(γ₀)`-coarse →
+//!   hold-previous, with per-rung counters and structured saturation
+//!   reports instead of assertions.
 //!
 //! All algorithms consume the instance strictly online: `decide(inst, t)`
 //! may inspect loads and cost functions of slots `≤ t` only (a
@@ -35,6 +43,8 @@ pub mod algo_b;
 pub mod algo_c;
 pub mod baselines;
 pub mod blocks;
+pub mod checkpoint;
+pub mod degrade;
 pub mod lcp;
 pub mod receding;
 pub mod runner;
@@ -42,6 +52,8 @@ pub mod runner;
 pub use algo_a::AlgorithmA;
 pub use algo_b::AlgorithmB;
 pub use algo_c::AlgorithmC;
+pub use checkpoint::{restore_run, run_checkpointed, save_run, Checkpoint};
+pub use degrade::{DegradeOptions, DegradeStats, GracefulDegrader, Rung};
 pub use lcp::LazyCapacityProvisioning;
 pub use receding::RecedingHorizon;
 pub use runner::{run, run_instrumented, LatencyProfile, OnlineAlgorithm, OnlineRun};

@@ -21,8 +21,9 @@ use rsz_offline::engine::{add_priced, PricedSlotPool};
 use rsz_offline::refine::{lift_band, refine_window, FineGrid, RefineOptions};
 use rsz_offline::table::Table;
 use rsz_offline::transform::arrival_transform;
-use rsz_offline::GridMode;
+use rsz_offline::{Decoder, Encoder, GridMode, SnapshotError};
 
+use crate::checkpoint::{codec, Checkpoint};
 use crate::runner::OnlineAlgorithm;
 
 /// Receding-horizon (model-predictive) provisioning with a perfect
@@ -117,11 +118,12 @@ impl<O: GtOracle + Sync> OnlineAlgorithm for RecedingHorizon<O> {
         // different instance with equal fleet sizes would otherwise
         // silently optimize against stale operating costs. The previous
         // run's window plan is stale for the same reason.
+        let pool_cap = opts.pool_capacity.unwrap_or(rsz_offline::engine::DEFAULT_POOL_CAP);
         if (opts.engine || opts.refine.is_some()) && (self.pool.is_none() || t == 0) {
-            self.pool = Some(PricedSlotPool::new(instance));
+            self.pool = Some(PricedSlotPool::with_capacity(instance, pool_cap));
         }
         if opts.refine.is_some() && (self.coarse_pool.is_none() || t == 0) {
-            self.coarse_pool = Some(PricedSlotPool::new(instance));
+            self.coarse_pool = Some(PricedSlotPool::with_capacity(instance, pool_cap));
         }
         if t == 0 {
             self.last_plan.clear();
@@ -244,6 +246,56 @@ impl<O: GtOracle + Sync> RecedingHorizon<O> {
         self.last_plan = plan.schedule.iter().map(|(_, c)| c.clone()).collect();
         self.last_plan_start = t;
         choice
+    }
+}
+
+impl<O: GtOracle + Sync> Checkpoint for RecedingHorizon<O> {
+    fn algo_tag(&self) -> &'static str {
+        "rhc"
+    }
+
+    fn save_state(&self, enc: &mut Encoder) {
+        // Pools are deliberately not serialized: pooled g_t tables are
+        // pure re-pricings, and a restored controller rebinds its pools
+        // on the next decision (`pool.is_none()`), re-pricing the window
+        // bit-identically.
+        codec::put_config_opt(enc, self.prev.as_ref());
+        enc.put_usize(self.last_plan_start);
+        enc.put_usize(self.last_plan.len());
+        for config in &self.last_plan {
+            codec::put_u32s(enc, config.counts());
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        let d = instance.num_types();
+        let prev = codec::take_config_opt(dec, d)?;
+        let last_plan_start = dec.take_usize()?;
+        if last_plan_start > instance.horizon() {
+            return Err(SnapshotError::Corrupt("plan start exceeds the horizon"));
+        }
+        let n = dec.take_usize()?;
+        if n > self.window {
+            return Err(SnapshotError::Corrupt("window plan exceeds the window length"));
+        }
+        let mut last_plan = Vec::with_capacity(n);
+        for _ in 0..n {
+            let counts = codec::take_u32s(dec, d)?;
+            if counts.len() != d {
+                return Err(SnapshotError::Corrupt("plan config has the wrong dimension"));
+            }
+            last_plan.push(Config::new(counts));
+        }
+        self.prev = prev;
+        self.last_plan = last_plan;
+        self.last_plan_start = last_plan_start;
+        self.pool = None;
+        self.coarse_pool = None;
+        Ok(())
     }
 }
 

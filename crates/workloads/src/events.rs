@@ -1,0 +1,405 @@
+//! Capacity events — mid-horizon mutations of a running instance.
+//!
+//! The paper's model fixes the fleet (`m_j`), the costs and the trace up
+//! front; a real data center loses machines, sees electricity prices
+//! spike, takes flash crowds and drops telemetry. This module expresses
+//! those as a declarative [`CapacityEvent`] stream and compiles
+//! `(instance, events)` into a **new** instance the solvers can run
+//! unchanged — the time-varying machinery of Section 4.3
+//! (`counts_over_time`, [`rsz_core::CostSpec::Scaled`]) absorbs every
+//! event class.
+//!
+//! Feasibility is preserved by construction: where an event pushes the
+//! arriving load above the post-event fleet capacity, the load is
+//! clamped to capacity and the overflow is returned as a structured
+//! [`SaturationReport`] — the caller decides whether that is shed
+//! traffic or an SLO breach, and the solvers never see an instance
+//! `Instance::build` would reject.
+
+use rsz_core::{CostSpec, Instance, InstanceError, ServerType};
+
+/// Policy for filling a telemetry gap ([`CapacityEvent::TraceGap`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GapPolicy {
+    /// Repeat the last observed load (0 when the gap opens the trace).
+    HoldLast,
+    /// Linear interpolation between the loads bracketing the gap
+    /// (falls back to hold-last at the horizon edges).
+    Interpolate,
+}
+
+/// One mutation of the running instance.
+#[derive(Clone, Copy, Debug)]
+pub enum CapacityEvent {
+    /// `count` machines of type `j` fail at slot `t` and stay down for
+    /// the rest of the horizon (until a [`CapacityEvent::MachineReturn`]).
+    MachineFailure {
+        /// First affected slot.
+        t: usize,
+        /// Server-type index.
+        j: usize,
+        /// Machines lost (saturating at zero).
+        count: u32,
+    },
+    /// `count` machines of type `j` come back at slot `t` (capped at the
+    /// type's original fleet size — repair, not procurement).
+    MachineReturn {
+        /// First affected slot.
+        t: usize,
+        /// Server-type index.
+        j: usize,
+        /// Machines restored.
+        count: u32,
+    },
+    /// Operating costs of every type scale by `factor` over
+    /// `[t, t+duration)` — an electricity-price shock.
+    PriceShock {
+        /// First affected slot.
+        t: usize,
+        /// Number of affected slots.
+        duration: usize,
+        /// Multiplier applied to operating costs (> 0, finite).
+        factor: f64,
+    },
+    /// Loads scale by `factor` over `[t, t+duration)` — a flash crowd
+    /// (or, with `factor < 1`, an outage upstream).
+    FlashCrowd {
+        /// First affected slot.
+        t: usize,
+        /// Number of affected slots.
+        duration: usize,
+        /// Multiplier applied to loads (≥ 0, finite).
+        factor: f64,
+    },
+    /// Telemetry lost over `[t, t+duration)`: the recorded loads there
+    /// are discarded and refilled under `policy`.
+    TraceGap {
+        /// First affected slot.
+        t: usize,
+        /// Number of affected slots.
+        duration: usize,
+        /// How to fill the gap.
+        policy: GapPolicy,
+    },
+}
+
+/// A slot whose post-event load exceeded the post-event fleet capacity
+/// and was clamped down to it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SaturationReport {
+    /// Slot index.
+    pub t: usize,
+    /// Load the events produced before clamping.
+    pub demanded: f64,
+    /// Fleet capacity at the slot — the load actually kept.
+    pub capacity: f64,
+}
+
+impl SaturationReport {
+    /// Volume shed by the clamp.
+    #[must_use]
+    pub fn shed(&self) -> f64 {
+        self.demanded - self.capacity
+    }
+}
+
+/// The compiled event stream: a solver-ready instance plus the
+/// saturation ledger.
+#[derive(Clone, Debug)]
+pub struct EventOutcome {
+    /// The post-event instance (always passes `Instance::build`).
+    pub instance: Instance,
+    /// Slots where load had to be clamped to capacity, in slot order.
+    pub saturated: Vec<SaturationReport>,
+}
+
+/// A mis-specified event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventError {
+    /// An event references a slot or type outside the instance.
+    OutOfRange {
+        /// Index of the offending event in the stream.
+        event: usize,
+    },
+    /// A multiplier is non-finite, negative, or (for prices) zero.
+    BadFactor {
+        /// Index of the offending event in the stream.
+        event: usize,
+        /// The factor supplied.
+        factor: f64,
+    },
+    /// The mutated instance failed validation (should be unreachable —
+    /// the clamp guarantees feasibility; surfaced rather than unwrapped).
+    Rebuild(InstanceError),
+}
+
+impl std::fmt::Display for EventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventError::OutOfRange { event } => {
+                write!(f, "event {event} references a slot or server type outside the instance")
+            }
+            EventError::BadFactor { event, factor } => {
+                write!(f, "event {event} carries an invalid factor {factor}")
+            }
+            EventError::Rebuild(e) => write!(f, "post-event instance failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EventError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EventError::Rebuild(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Compile `events` (applied in order) over `instance` into a new
+/// instance, clamping saturated slots instead of failing.
+///
+/// Price shocks compose multiplicatively per slot and rebuild each
+/// type's cost spec through [`CostSpec::Scaled`]; types with fully
+/// general [`CostSpec::PerSlot`] costs keep them unshocked (there is no
+/// single base shape to scale — feed such instances per-slot costs that
+/// already contain the shock).
+///
+/// # Errors
+/// [`EventError`] on out-of-range slots/types or invalid factors; the
+/// instance itself is never mutated.
+pub fn apply(instance: &Instance, events: &[CapacityEvent]) -> Result<EventOutcome, EventError> {
+    let tt = instance.horizon();
+    let d = instance.num_types();
+    let original: Vec<Vec<u32>> = (0..tt).map(|t| instance.server_counts_at(t)).collect();
+    let mut counts = original.clone();
+    let mut loads: Vec<f64> = instance.loads().to_vec();
+    let mut price: Vec<f64> = vec![1.0; tt];
+
+    for (idx, event) in events.iter().enumerate() {
+        match *event {
+            CapacityEvent::MachineFailure { t, j, count } => {
+                if t >= tt || j >= d {
+                    return Err(EventError::OutOfRange { event: idx });
+                }
+                for row in &mut counts[t..] {
+                    row[j] = row[j].saturating_sub(count);
+                }
+            }
+            CapacityEvent::MachineReturn { t, j, count } => {
+                if t >= tt || j >= d {
+                    return Err(EventError::OutOfRange { event: idx });
+                }
+                for (row, orig) in counts[t..].iter_mut().zip(&original[t..]) {
+                    row[j] = (row[j].saturating_add(count)).min(orig[j]);
+                }
+            }
+            CapacityEvent::PriceShock { t, duration, factor } => {
+                if t >= tt {
+                    return Err(EventError::OutOfRange { event: idx });
+                }
+                if !factor.is_finite() || factor <= 0.0 {
+                    return Err(EventError::BadFactor { event: idx, factor });
+                }
+                for p in &mut price[t..(t + duration).min(tt)] {
+                    *p *= factor;
+                }
+            }
+            CapacityEvent::FlashCrowd { t, duration, factor } => {
+                if t >= tt {
+                    return Err(EventError::OutOfRange { event: idx });
+                }
+                if !factor.is_finite() || factor < 0.0 {
+                    return Err(EventError::BadFactor { event: idx, factor });
+                }
+                for l in &mut loads[t..(t + duration).min(tt)] {
+                    *l *= factor;
+                }
+            }
+            CapacityEvent::TraceGap { t, duration, policy } => {
+                if t >= tt {
+                    return Err(EventError::OutOfRange { event: idx });
+                }
+                let end = (t + duration).min(tt);
+                let before = (t > 0).then(|| loads[t - 1]);
+                let after = (end < tt).then(|| loads[end]);
+                for (u, slot) in loads.iter_mut().enumerate().take(end).skip(t) {
+                    *slot = match (policy, before, after) {
+                        (GapPolicy::HoldLast, b, _) => b.unwrap_or(0.0),
+                        (GapPolicy::Interpolate, Some(b), Some(a)) => {
+                            // Linear between the bracketing observations:
+                            // position u is (u - t + 1) of (end - t + 1)
+                            // steps from `before` to `after`.
+                            let span = (end - t + 1) as f64;
+                            let frac = (u - t + 1) as f64 / span;
+                            b + (a - b) * frac
+                        }
+                        (GapPolicy::Interpolate, b, a) => b.or(a).unwrap_or(0.0),
+                    };
+                }
+            }
+        }
+    }
+
+    // Clamp saturated slots: the solvers require load ≤ fleet capacity
+    // at every slot; overflow becomes a report, not a panic downstream.
+    let mut saturated = Vec::new();
+    for t in 0..tt {
+        let capacity: f64 = (0..d).map(|j| f64::from(counts[t][j]) * instance.capacity(j)).sum();
+        if loads[t] > capacity {
+            saturated.push(SaturationReport { t, demanded: loads[t], capacity });
+            loads[t] = capacity;
+        }
+    }
+
+    let shocked = price.iter().any(|&p| p != 1.0);
+    let types: Vec<ServerType> = instance
+        .types()
+        .iter()
+        .map(|ty| {
+            let cost = match (&ty.cost, shocked) {
+                (spec, false) => spec.clone(),
+                (CostSpec::Uniform(base), true) => CostSpec::scaled(base.clone(), price.clone()),
+                (CostSpec::Scaled { base, factors }, true) => {
+                    let mixed: Vec<f64> = factors.iter().zip(&price).map(|(f, p)| f * p).collect();
+                    CostSpec::scaled(base.clone(), mixed)
+                }
+                // No single base shape to scale; documented above.
+                (spec @ CostSpec::PerSlot(_), true) => spec.clone(),
+            };
+            ServerType::with_spec(ty.name.clone(), ty.count, ty.switching_cost, ty.capacity, cost)
+        })
+        .collect();
+
+    let instance = Instance::builder()
+        .server_types(types)
+        .loads(loads)
+        .counts_over_time(counts)
+        .build()
+        .map_err(EventError::Rebuild)?;
+    Ok(EventOutcome { instance, saturated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsz_core::CostModel;
+
+    fn instance() -> Instance {
+        Instance::builder()
+            .server_type(ServerType::new("a", 3, 2.0, 1.0, CostModel::linear(0.5, 1.0)))
+            .server_type(ServerType::new("b", 2, 4.0, 2.0, CostModel::constant(1.2)))
+            .loads(vec![1.0, 4.0, 0.0, 2.0, 5.0, 1.0, 0.0, 3.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn failure_and_return_reshape_the_fleet() {
+        let inst = instance();
+        let out = apply(
+            &inst,
+            &[
+                CapacityEvent::MachineFailure { t: 2, j: 0, count: 2 },
+                CapacityEvent::MachineReturn { t: 5, j: 0, count: 5 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.instance.server_count(1, 0), 3);
+        assert_eq!(out.instance.server_count(2, 0), 1);
+        assert_eq!(out.instance.server_count(4, 0), 1);
+        // Returns cap at the original fleet — repair, not procurement.
+        assert_eq!(out.instance.server_count(5, 0), 3);
+        assert!(out.instance.validate().is_ok());
+    }
+
+    #[test]
+    fn saturated_slots_are_clamped_and_reported() {
+        let inst = instance();
+        // Losing both type-b machines from slot 4 leaves capacity 3 for
+        // the load of 5 there.
+        let out = apply(&inst, &[CapacityEvent::MachineFailure { t: 4, j: 1, count: 2 }]).unwrap();
+        assert_eq!(out.saturated.len(), 1);
+        let report = out.saturated[0];
+        assert_eq!(report.t, 4);
+        assert!((report.demanded - 5.0).abs() < 1e-12);
+        assert!((report.capacity - 3.0).abs() < 1e-12);
+        assert!((report.shed() - 2.0).abs() < 1e-12);
+        assert!((out.instance.load(4) - 3.0).abs() < 1e-12);
+        assert!(out.instance.validate().is_ok());
+    }
+
+    #[test]
+    fn price_shock_scales_operating_costs_in_window_only() {
+        let inst = instance();
+        let out =
+            apply(&inst, &[CapacityEvent::PriceShock { t: 2, duration: 3, factor: 4.0 }]).unwrap();
+        assert!((out.instance.idle_cost(1, 0) - inst.idle_cost(1, 0)).abs() < 1e-12);
+        assert!((out.instance.idle_cost(3, 0) - 4.0 * inst.idle_cost(3, 0)).abs() < 1e-12);
+        assert!((out.instance.idle_cost(5, 0) - inst.idle_cost(5, 0)).abs() < 1e-12);
+        assert!(!out.instance.is_time_independent());
+    }
+
+    #[test]
+    fn flash_crowd_scales_loads_and_clamps_at_capacity() {
+        let inst = instance();
+        // 3× on slots 3..5: slot 3 becomes 6 (fits in capacity 7), slot
+        // 4 demands 15 and clamps to 7.
+        let out =
+            apply(&inst, &[CapacityEvent::FlashCrowd { t: 3, duration: 2, factor: 3.0 }]).unwrap();
+        assert!((out.instance.load(3) - 6.0).abs() < 1e-12);
+        assert!((out.instance.load(4) - 7.0).abs() < 1e-12);
+        assert_eq!(out.saturated.len(), 1);
+        assert!((out.saturated[0].demanded - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_gaps_fill_by_policy() {
+        let inst = instance();
+        let hold = apply(
+            &inst,
+            &[CapacityEvent::TraceGap { t: 3, duration: 2, policy: GapPolicy::HoldLast }],
+        )
+        .unwrap();
+        assert!((hold.instance.load(3) - 0.0).abs() < 1e-12); // holds slot 2's 0.0
+        assert!((hold.instance.load(4) - 0.0).abs() < 1e-12);
+        let lerp = apply(
+            &inst,
+            &[CapacityEvent::TraceGap { t: 3, duration: 2, policy: GapPolicy::Interpolate }],
+        )
+        .unwrap();
+        // Between loads[2] = 0 and loads[5] = 1 in thirds: 1/3, 2/3.
+        assert!((lerp.instance.load(3) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((lerp.instance.load(4) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_events_are_rejected_structurally() {
+        let inst = instance();
+        match apply(&inst, &[CapacityEvent::MachineFailure { t: 99, j: 0, count: 1 }]) {
+            Err(EventError::OutOfRange { event: 0 }) => {}
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        match apply(&inst, &[CapacityEvent::PriceShock { t: 0, duration: 1, factor: f64::NAN }]) {
+            Err(EventError::BadFactor { event: 0, .. }) => {}
+            other => panic!("expected BadFactor, got {other:?}"),
+        }
+        match apply(&inst, &[CapacityEvent::FlashCrowd { t: 0, duration: 1, factor: -1.0 }]) {
+            Err(EventError::BadFactor { event: 0, factor }) => assert_eq!(factor, -1.0),
+            other => panic!("expected BadFactor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_event_stream_is_identity_modulo_counts_form() {
+        let inst = instance();
+        let out = apply(&inst, &[]).unwrap();
+        assert!(out.saturated.is_empty());
+        assert_eq!(out.instance.loads(), inst.loads());
+        for t in 0..inst.horizon() {
+            for j in 0..inst.num_types() {
+                assert_eq!(out.instance.server_count(t, j), inst.server_count(t, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! Every fault the chaos suite throws at the decision core is generated
+//! here from an explicit `StdRng` seed, so a failing run reproduces
+//! from its seed alone. Four fault classes, matching the failure model
+//! (docs/ALGORITHMS.md):
+//!
+//! * **poisoned traces** — NaN / negative / infinite job volumes spliced
+//!   into otherwise valid raw trace values (must be rejected or repaired
+//!   at ingestion, never reach a solver),
+//! * **truncated traces** — the feed dies mid-horizon,
+//! * **eviction storms** — a pathologically small priced-slot pool
+//!   capacity, forcing the engine to re-price constantly (must degrade
+//!   throughput, never decisions),
+//! * **corrupted snapshots** — bit flips in a serialized engine
+//!   snapshot (must fail the checksum, never deserialize into garbage).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The poison values cycled into a trace, in order.
+pub const POISON_VALUES: [f64; 3] = [f64::NAN, -1.0, f64::INFINITY];
+
+/// A seeded, fully deterministic fault plan for one chaos run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from.
+    pub seed: u64,
+    /// Slots to poison, paired with the raw value to splice in.
+    pub poisoned: Vec<(usize, f64)>,
+    /// Cut the trace to this many slots (`None` = no truncation).
+    pub truncate_at: Option<usize>,
+    /// Priced-slot pool retention bound for the eviction storm (tiny).
+    pub pool_capacity: usize,
+    /// Byte position seed for snapshot corruption (reduced modulo the
+    /// snapshot length at flip time).
+    pub corrupt_at: u64,
+}
+
+/// Derive the fault plan for `(seed, horizon)`. Same inputs, same plan —
+/// chaos runs cite their seed and reproduce exactly.
+#[must_use]
+pub fn plan(seed: u64, horizon: usize) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_poison = if horizon == 0 { 0 } else { rng.gen_range(1..=horizon.min(3)) };
+    let mut poisoned = Vec::with_capacity(n_poison);
+    for i in 0..n_poison {
+        let t = rng.gen_range(0..horizon);
+        poisoned.push((t, POISON_VALUES[i % POISON_VALUES.len()]));
+    }
+    poisoned.sort_by_key(|&(t, _)| t);
+    poisoned.dedup_by_key(|&mut (t, _)| t);
+    let truncate_at = (horizon > 1).then(|| rng.gen_range(1..horizon));
+    FaultPlan {
+        seed,
+        poisoned,
+        truncate_at,
+        pool_capacity: rng.gen_range(1..=2),
+        corrupt_at: rng.gen(),
+    }
+}
+
+impl FaultPlan {
+    /// Raw trace values with the plan's poison spliced in. The output is
+    /// **not** a valid load sequence — that is the point; feed it to
+    /// ingestion and assert the rejection/repair path.
+    #[must_use]
+    pub fn poison(&self, values: &[f64]) -> Vec<f64> {
+        let mut out = values.to_vec();
+        for &(t, v) in &self.poisoned {
+            if t < out.len() {
+                out[t] = v;
+            }
+        }
+        out
+    }
+
+    /// The trace cut at the plan's truncation point.
+    #[must_use]
+    pub fn truncate(&self, values: &[f64]) -> Vec<f64> {
+        match self.truncate_at {
+            Some(at) => values[..at.min(values.len())].to_vec(),
+            None => values.to_vec(),
+        }
+    }
+
+    /// Flip one bit of `bytes` at a plan-determined position, returning
+    /// the byte index flipped. No-op on empty input.
+    pub fn corrupt(&self, bytes: &mut [u8]) -> Option<usize> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let idx = (self.corrupt_at % bytes.len() as u64) as usize;
+        let bit = (self.corrupt_at >> 32) % 8;
+        bytes[idx] ^= 1 << bit;
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-level key for poison lists (NaN payloads defeat `==`).
+    fn poison_bits(p: &FaultPlan) -> Vec<(usize, u64)> {
+        p.poisoned.iter().map(|&(t, v)| (t, v.to_bits())).collect()
+    }
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let a = plan(42, 16);
+        let b = plan(42, 16);
+        assert_eq!(poison_bits(&a), poison_bits(&b));
+        assert_eq!(a.truncate_at, b.truncate_at);
+        assert_eq!(a.pool_capacity, b.pool_capacity);
+        assert_eq!(a.corrupt_at, b.corrupt_at);
+        let c = plan(43, 16);
+        assert!(
+            poison_bits(&a) != poison_bits(&c)
+                || a.truncate_at != c.truncate_at
+                || a.corrupt_at != c.corrupt_at,
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn poison_splices_invalid_values() {
+        let p = plan(7, 8);
+        let clean = vec![1.0; 8];
+        let dirty = p.poison(&clean);
+        assert_eq!(dirty.len(), 8);
+        let bad = dirty.iter().filter(|v| !v.is_finite() || **v < 0.0).count();
+        assert_eq!(bad, p.poisoned.len());
+        assert!(bad >= 1);
+    }
+
+    #[test]
+    fn truncation_shortens_the_trace() {
+        let p = plan(7, 8);
+        let cut = p.truncate(&[1.0; 8]);
+        assert_eq!(cut.len(), p.truncate_at.unwrap());
+        assert!(cut.len() < 8);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let p = plan(7, 8);
+        let original = vec![0xABu8; 64];
+        let mut copy = original.clone();
+        let idx = p.corrupt(&mut copy).unwrap();
+        let diff: Vec<usize> = (0..64).filter(|&i| original[i] != copy[i]).collect();
+        assert_eq!(diff, vec![idx]);
+        assert_eq!((original[idx] ^ copy[idx]).count_ones(), 1);
+        assert_eq!(p.corrupt(&mut []), None);
+    }
+
+    #[test]
+    fn storm_pool_capacity_is_tiny() {
+        for seed in 0..20 {
+            let p = plan(seed, 32);
+            assert!((1..=2).contains(&p.pool_capacity));
+        }
+    }
+}

@@ -4,6 +4,14 @@
 //! (`# comment` lines allowed), comma-separated per-type counts per line
 //! for schedules. Enough to round-trip experiment artifacts and to feed
 //! real production traces into the solvers.
+//!
+//! Trace ingestion is *hardened*: every error carries the 1-based line
+//! number, and malformed load values (NaN, negative, infinite) are
+//! rejected at parse — [`Trace::new`]'s silent clamp never sees them.
+//! Real telemetry does produce such values, so [`read_trace_with`]
+//! accepts a [`RepairPolicy`] (the CLI's `--repair` knob) that skips,
+//! holds or interpolates the bad slots, returning a [`RepairReport`] of
+//! every repair made.
 
 use std::io::{BufRead, Write};
 use std::path::Path;
@@ -11,6 +19,104 @@ use std::path::Path;
 use rsz_core::{Config, Schedule};
 
 use crate::trace::Trace;
+
+/// A trace-ingestion failure, pinned to its input line.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A line parsed, but the value is not a valid load (NaN, negative,
+    /// or infinite) and the policy is [`RepairPolicy::Strict`].
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::BadValue { line, value } => {
+                write!(f, "line {line}: {value} is not a valid load (finite, ≥ 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<TraceError> for std::io::Error {
+    fn from(e: TraceError) -> Self {
+        match e {
+            TraceError::Io(e) => e,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// What to do with a parsed-but-invalid load value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Fail with [`TraceError::BadValue`] (the default).
+    Strict,
+    /// Drop the slot entirely (shortens the trace).
+    Skip,
+    /// Replace with the previous valid load (0 at the start).
+    HoldLast,
+    /// Linear interpolation between the neighboring valid loads
+    /// (falls back to hold-last at the edges).
+    Interpolate,
+}
+
+/// One repaired slot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Repair {
+    /// 1-based input line of the bad value.
+    pub line: usize,
+    /// The value found there.
+    pub found: f64,
+    /// The value used instead (`None` = the slot was skipped).
+    pub replacement: Option<f64>,
+}
+
+/// All repairs a lenient [`read_trace_with`] call performed.
+#[derive(Clone, Debug, Default)]
+pub struct RepairReport {
+    /// Repairs in input order.
+    pub repairs: Vec<Repair>,
+}
+
+impl RepairReport {
+    /// `true` when the trace needed no repairs.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.repairs.is_empty()
+    }
+}
 
 /// Write a trace as one value per line, with a header comment.
 pub fn write_trace(path: &Path, trace: &Trace) -> std::io::Result<()> {
@@ -23,28 +129,91 @@ pub fn write_trace(path: &Path, trace: &Trace) -> std::io::Result<()> {
 }
 
 /// Read a trace written by [`write_trace`] (or any one-number-per-line
-/// file; `#`-prefixed lines and blank lines are skipped).
+/// file; `#`-prefixed lines and blank lines are skipped), strictly:
+/// NaN, negative and infinite loads are rejected with their line
+/// number. Use [`read_trace_with`] to repair instead of reject.
 ///
 /// # Errors
-/// I/O errors propagate; unparsable lines produce `InvalidData`.
+/// I/O errors propagate; unparsable lines and invalid load values
+/// produce `InvalidData` (via [`TraceError`]'s display form).
 pub fn read_trace(path: &Path) -> std::io::Result<Trace> {
+    let (trace, _) = read_trace_with(path, RepairPolicy::Strict)?;
+    Ok(trace)
+}
+
+/// [`read_trace`] with an explicit [`RepairPolicy`] for invalid load
+/// values, returning the repairs made alongside the trace.
+///
+/// # Errors
+/// I/O and parse errors always fail (a line that isn't a number is
+/// corrupt input, not telemetry noise); invalid *values* fail only
+/// under [`RepairPolicy::Strict`].
+pub fn read_trace_with(
+    path: &Path,
+    policy: RepairPolicy,
+) -> Result<(Trace, RepairReport), TraceError> {
     let file = std::fs::File::open(path)?;
-    let mut values = Vec::new();
+    // (line number, value) per data line; invalid values kept as-is for
+    // the post-pass so Interpolate can see both neighbors.
+    let mut entries: Vec<(usize, f64)> = Vec::new();
     for (lineno, line) in std::io::BufReader::new(file).lines().enumerate() {
         let line = line?;
         let s = line.trim();
         if s.is_empty() || s.starts_with('#') {
             continue;
         }
-        let v: f64 = s.parse().map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("line {}: {e}", lineno + 1),
-            )
+        let v: f64 = s.parse().map_err(|e: std::num::ParseFloatError| TraceError::Parse {
+            line: lineno + 1,
+            message: e.to_string(),
         })?;
-        values.push(v);
+        if policy == RepairPolicy::Strict && !is_valid_load(v) {
+            return Err(TraceError::BadValue { line: lineno + 1, value: v });
+        }
+        entries.push((lineno + 1, v));
     }
-    Ok(Trace::new(values))
+
+    let mut report = RepairReport::default();
+    let mut values = Vec::with_capacity(entries.len());
+    for (i, &(line, v)) in entries.iter().enumerate() {
+        if is_valid_load(v) {
+            values.push(v);
+            continue;
+        }
+        match policy {
+            RepairPolicy::Strict => unreachable!("strict mode failed above"),
+            RepairPolicy::Skip => {
+                report.repairs.push(Repair { line, found: v, replacement: None });
+            }
+            RepairPolicy::HoldLast => {
+                let held = values.last().copied().unwrap_or(0.0);
+                report.repairs.push(Repair { line, found: v, replacement: Some(held) });
+                values.push(held);
+            }
+            RepairPolicy::Interpolate => {
+                let before = values.last().copied();
+                // Distance to and value of the next valid entry.
+                let next = entries[i + 1..]
+                    .iter()
+                    .enumerate()
+                    .find(|(_, &(_, w))| is_valid_load(w))
+                    .map(|(k, &(_, w))| (k + 1, w));
+                let fill = match (before, next) {
+                    (Some(b), Some((gap, a))) => b + (a - b) / (gap as f64 + 1.0),
+                    (Some(b), None) => b,
+                    (None, Some((_, a))) => a,
+                    (None, None) => 0.0,
+                };
+                report.repairs.push(Repair { line, found: v, replacement: Some(fill) });
+                values.push(fill);
+            }
+        }
+    }
+    Ok((Trace::new(values), report))
+}
+
+/// A load value the solvers accept: finite and non-negative.
+fn is_valid_load(v: f64) -> bool {
+    v.is_finite() && v >= 0.0
 }
 
 /// Write a schedule as CSV: one line per slot, comma-separated per-type
@@ -137,6 +306,83 @@ mod tests {
         assert!(read_trace(&path).is_err());
         std::fs::write(&path, "1,2\n3\n").unwrap();
         assert!(read_schedule(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn strict_rejects_invalid_loads_with_line_numbers() {
+        let path = tmp("poison.csv");
+        std::fs::write(&path, "# header\n1.0\nnan\n2.0\n").unwrap();
+        match read_trace_with(&path, RepairPolicy::Strict) {
+            Err(TraceError::BadValue { line: 3, value }) => assert!(value.is_nan()),
+            other => panic!("expected BadValue at line 3, got {other:?}"),
+        }
+        assert!(read_trace(&path).is_err(), "strict is the default path");
+        std::fs::write(&path, "1.0\n-2.5\n").unwrap();
+        match read_trace_with(&path, RepairPolicy::Strict) {
+            Err(TraceError::BadValue { line: 2, value }) => assert_eq!(value, -2.5),
+            other => panic!("expected BadValue at line 2, got {other:?}"),
+        }
+        std::fs::write(&path, "1.0\ninf\n").unwrap();
+        assert!(read_trace(&path).is_err(), "infinite loads are invalid too");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_fail_under_every_policy() {
+        let path = tmp("parse.csv");
+        std::fs::write(&path, "1.0\nnot-a-number\n").unwrap();
+        for policy in [
+            RepairPolicy::Strict,
+            RepairPolicy::Skip,
+            RepairPolicy::HoldLast,
+            RepairPolicy::Interpolate,
+        ] {
+            match read_trace_with(&path, policy) {
+                Err(TraceError::Parse { line: 2, .. }) => {}
+                other => panic!("{policy:?}: expected Parse at line 2, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn repair_policies_fix_bad_values() {
+        let path = tmp("repair.csv");
+        std::fs::write(&path, "1.0\nnan\n4.0\n").unwrap();
+
+        let (skip, report) = read_trace_with(&path, RepairPolicy::Skip).unwrap();
+        assert_eq!(skip.values(), &[1.0, 4.0]);
+        assert_eq!(report.repairs.len(), 1);
+        assert_eq!(report.repairs[0].line, 2);
+        assert_eq!(report.repairs[0].replacement, None);
+
+        let (hold, report) = read_trace_with(&path, RepairPolicy::HoldLast).unwrap();
+        assert_eq!(hold.values(), &[1.0, 1.0, 4.0]);
+        assert_eq!(report.repairs[0].replacement, Some(1.0));
+
+        let (lerp, report) = read_trace_with(&path, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(lerp.values(), &[1.0, 2.5, 4.0]);
+        assert_eq!(report.repairs[0].replacement, Some(2.5));
+        assert!(!report.is_clean());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interpolate_handles_runs_and_edges() {
+        let path = tmp("lerp-edge.csv");
+        // Run of two bad slots between 0 and 3: thirds.
+        std::fs::write(&path, "0.0\n-1\nnan\n3.0\n").unwrap();
+        let (t, _) = read_trace_with(&path, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(t.values(), &[0.0, 1.0, 2.0, 3.0]);
+        // Bad value opening the trace: take the next valid load.
+        std::fs::write(&path, "nan\n2.0\n").unwrap();
+        let (t, _) = read_trace_with(&path, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(t.values(), &[2.0, 2.0]);
+        // Bad value closing the trace: hold the last valid load.
+        std::fs::write(&path, "2.0\nnan\n").unwrap();
+        let (t, _) = read_trace_with(&path, RepairPolicy::Interpolate).unwrap();
+        assert_eq!(t.values(), &[2.0, 2.0]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -18,6 +18,13 @@
 //! * [`costs`] — operating-cost and electricity-price presets,
 //! * [`scenario`] — named end-to-end instances gluing the above,
 //! * [`io`] — dependency-free CSV import/export of traces and schedules,
+//!   with line-numbered errors and a repair policy for invalid loads,
+//! * [`events`] — capacity events (machine failures/returns, price
+//!   shocks, flash crowds, trace gaps) compiled into solver-ready
+//!   instances with structured saturation reports,
+//! * [`faultinject`] — seeded, deterministic fault plans (poisoned
+//!   traces, truncation, pool-eviction storms, snapshot corruption) for
+//!   the chaos suite,
 //! * [`chasing`] — the Section 1 lower-bound demo: general convex
 //!   function chasing on the hypercube has competitive ratio `Ω(2^d/d)`,
 //!   which is why the paper restricts to operating costs of form (1).
@@ -29,6 +36,8 @@
 pub mod adversarial;
 pub mod chasing;
 pub mod costs;
+pub mod events;
+pub mod faultinject;
 pub mod fleet;
 pub mod io;
 pub mod patterns;
@@ -36,4 +45,7 @@ pub mod scenario;
 pub mod stochastic;
 pub mod trace;
 
+pub use events::{apply as apply_events, CapacityEvent, EventOutcome, GapPolicy};
+pub use faultinject::FaultPlan;
+pub use io::{read_trace_with, RepairPolicy, RepairReport, TraceError};
 pub use trace::Trace;

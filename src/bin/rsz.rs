@@ -46,14 +46,30 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   rsz solve    --trace FILE --fleet PRESET --algorithm ALGO [--cache] [--pipeline]
                [--refine] [--refine-gamma G] [--refine-epsilon E]
-               [--threads N] [--out FILE] [--chart]
+               [--repair POLICY] [--threads N] [--out FILE] [--chart]
   rsz simulate --trace FILE --fleet PRESET --algo {a|b|c[:EPS]|lcp|rhc[:W]}
-               [--engine] [--cache] [--pipeline] [--refine] [--out FILE]
+               [--engine] [--cache] [--pipeline] [--refine] [--repair POLICY]
+               [--resume FILE] [--snapshot-every K] [--out FILE]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
 algorithms:  opt | approx:EPS | a | b | c:EPS
 patterns:    diurnal | constant | mmpp | spiky
+exit codes:  2 = usage/input error (including rejected trace lines),
+             3 = solver/snapshot failure (malformed λ reaching the
+             solver, infeasible instance, corrupted snapshot)
+
+--repair sets the policy for invalid loads (NaN, negative, infinite) in
+the trace: strict (default — reject with the line number), skip,
+hold-last, or interpolate. Syntax errors fail under every policy.
+
+--resume FILE makes the simulation restartable: if FILE exists it is
+opened as a sealed run snapshot and the controller restores from it,
+continuing at the first uncommitted slot; the completed schedule is
+bit-identical to an uninterrupted run. --snapshot-every K (requires
+--resume) rewrites FILE after every K fresh decisions, so a killed
+process loses at most K slots of work. A corrupted, truncated, or
+mismatched snapshot exits with code 3 — it never resumes into garbage.
 
 --cache memoizes the per-slot dispatch solves g(λ, x) across the run
 (shared across all slots when costs are time-independent) and reports
@@ -130,6 +146,19 @@ fn parse_refine(
     Ok(Some(refine))
 }
 
+/// Parse the `--repair POLICY` knob for trace ingestion.
+fn parse_repair(args: &[String]) -> Result<io::RepairPolicy, String> {
+    match flag(args, "--repair").as_deref() {
+        None | Some("strict") => Ok(io::RepairPolicy::Strict),
+        Some("skip") => Ok(io::RepairPolicy::Skip),
+        Some("hold-last") => Ok(io::RepairPolicy::HoldLast),
+        Some("interpolate") => Ok(io::RepairPolicy::Interpolate),
+        Some(other) => {
+            Err(format!("unknown --repair policy `{other}` (strict|skip|hold-last|interpolate)"))
+        }
+    }
+}
+
 fn parse_fleet(spec: &str) -> Result<Vec<ServerType>, String> {
     let (name, params) = spec.split_once(':').ok_or("fleet must be NAME:PARAMS")?;
     let nums: Result<Vec<u32>, _> = params.split(',').map(str::parse).collect();
@@ -165,6 +194,11 @@ fn solve(args: &[String]) -> ExitCode {
         refine,
         ..DpOptions::default()
     };
+    // Pre-flight: malformed λ / empty grids surface as a SolveError with
+    // exit code 3 instead of a panic deep inside the DP.
+    if let Err(e) = offline::validate_for_solve(&instance, dp_opts) {
+        return fail_solve(&e.to_string());
+    }
 
     if has_flag(args, "--cache") {
         let oracle = CachedDispatcher::new(&instance);
@@ -293,8 +327,15 @@ fn solve_with<O: GtOracle + Sync + Clone>(
 fn load_instance(args: &[String]) -> Result<Instance, String> {
     let trace_path = flag(args, "--trace").ok_or("--trace FILE is required")?;
     let fleet_spec = flag(args, "--fleet").unwrap_or_else(|| "homogeneous:10".into());
-    let trace =
-        io::read_trace(Path::new(&trace_path)).map_err(|e| format!("cannot read trace: {e}"))?;
+    let policy = parse_repair(args)?;
+    let (trace, report) = io::read_trace_with(Path::new(&trace_path), policy)
+        .map_err(|e| format!("cannot read trace: {e}"))?;
+    if !report.is_clean() {
+        eprintln!(
+            "warning: repaired {} invalid load(s) in {trace_path} ({policy:?} policy)",
+            report.repairs.len()
+        );
+    }
     let types = parse_fleet(&fleet_spec)?;
     let cap = fleet::total_capacity(&types);
     if trace.peak() > cap {
@@ -305,6 +346,63 @@ fn load_instance(args: &[String]) -> Result<Instance, String> {
         .loads(trace.capped(cap).into_values())
         .build()
         .map_err(|e| format!("invalid instance: {e}"))
+}
+
+/// The `--resume FILE` / `--snapshot-every K` checkpointing knobs.
+struct SnapOpts {
+    path: Option<std::path::PathBuf>,
+    every: Option<usize>,
+}
+
+fn parse_snapshot(args: &[String]) -> Result<SnapOpts, String> {
+    let path = flag(args, "--resume").map(std::path::PathBuf::from);
+    let every = match flag(args, "--snapshot-every").as_deref().map(str::parse::<usize>) {
+        None => None,
+        Some(Ok(k)) if k >= 1 => Some(k),
+        Some(_) => return Err("--snapshot-every K needs a positive integer".into()),
+    };
+    if every.is_some() && path.is_none() {
+        return Err("--snapshot-every needs --resume FILE to know where to write".into());
+    }
+    Ok(SnapOpts { path, every })
+}
+
+/// Run one controller through the instrumented runner, or — when
+/// `--resume FILE` is set — through the checkpointed runner: restore
+/// from FILE if it exists, rewrite it every `--snapshot-every K`
+/// decisions. Snapshot failures (corruption, wrong algorithm or
+/// instance) map to exit code 3.
+fn drive<A>(
+    instance: &Instance,
+    algo: &mut A,
+    oracle: &dyn GtOracle,
+    snap: &SnapOpts,
+) -> Result<(online::OnlineRun, online::LatencyProfile), ExitCode>
+where
+    A: online::OnlineAlgorithm + online::Checkpoint,
+{
+    let Some(path) = &snap.path else {
+        return Ok(online::run_instrumented(instance, algo, oracle));
+    };
+    let resume = match std::fs::read(path) {
+        Ok(bytes) => Some(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(fail(&format!("cannot read snapshot {}: {e}", path.display()))),
+    };
+    if let Some(bytes) = &resume {
+        eprintln!("resuming from {} ({} bytes)", path.display(), bytes.len());
+    }
+    let mut write_err: Option<std::io::Error> = None;
+    let result =
+        online::run_checkpointed(instance, algo, oracle, resume.as_deref(), snap.every, |bytes| {
+            if write_err.is_none() {
+                write_err = std::fs::write(path, bytes).err();
+            }
+        });
+    if let Some(e) = write_err {
+        return Err(fail(&format!("cannot write snapshot {}: {e}", path.display())));
+    }
+    result.map_err(|e| fail_solve(&format!("cannot resume from {}: {e}", path.display())))
 }
 
 fn simulate(args: &[String]) -> ExitCode {
@@ -328,9 +426,17 @@ fn simulate(args: &[String]) -> ExitCode {
     if refine.is_some() && !algo_spec.starts_with("rhc") {
         eprintln!("note: --refine accelerates the rhc window DP; other algorithms ignore it");
     }
+    let snap = match parse_snapshot(args) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = offline::validate_for_solve(&instance, online_opts.dp_options()) {
+        return fail_solve(&e.to_string());
+    }
     if has_flag(args, "--cache") {
         let oracle = CachedDispatcher::new(&instance);
-        let code = simulate_with(&instance, oracle.clone(), &algo_spec, online_opts, refine, args);
+        let code =
+            simulate_with(&instance, oracle.clone(), &algo_spec, online_opts, refine, &snap, args);
         let s = oracle.stats();
         if s.hits + s.misses > 0 {
             println!(
@@ -342,7 +448,7 @@ fn simulate(args: &[String]) -> ExitCode {
         }
         code
     } else {
-        simulate_with(&instance, Dispatcher::new(), &algo_spec, online_opts, refine, args)
+        simulate_with(&instance, Dispatcher::new(), &algo_spec, online_opts, refine, &snap, args)
     }
 }
 
@@ -355,6 +461,7 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
     algo_spec: &str,
     online_opts: heterogeneous_rightsizing::online::algo_a::AOptions,
     refine: Option<heterogeneous_rightsizing::offline::RefineOptions>,
+    snap: &SnapOpts,
     args: &[String],
 ) -> ExitCode {
     type Stats = heterogeneous_rightsizing::offline::EngineStats;
@@ -367,12 +474,18 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
         match (kind, param) {
             ("a", None) => {
                 let mut a = AlgorithmA::new(instance, oracle.clone(), online_opts);
-                let (run, profile) = online::run_instrumented(instance, &mut a, &oracle);
+                let (run, profile) = match drive(instance, &mut a, &oracle, snap) {
+                    Ok(rp) => rp,
+                    Err(code) => return code,
+                };
                 (run, profile, a.engine_stats())
             }
             ("b", None) => {
                 let mut b = AlgorithmB::new(instance, oracle.clone(), online_opts);
-                let (run, profile) = online::run_instrumented(instance, &mut b, &oracle);
+                let (run, profile) = match drive(instance, &mut b, &oracle, snap) {
+                    Ok(rp) => rp,
+                    Err(code) => return code,
+                };
                 let stats = b.core().prefix().engine_stats();
                 (run, profile, stats)
             }
@@ -387,7 +500,10 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
                     oracle.clone(),
                     COptions { epsilon: eps, base: online_opts, ..Default::default() },
                 );
-                let (run, profile) = online::run_instrumented(instance, &mut c, &oracle);
+                let (run, profile) = match drive(instance, &mut c, &oracle, snap) {
+                    Ok(rp) => rp,
+                    Err(code) => return code,
+                };
                 let stats = c.engine_stats();
                 (run, profile, stats)
             }
@@ -397,7 +513,10 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
                 }
                 let mut l =
                     LazyCapacityProvisioning::with_options(instance, oracle.clone(), dp_opts);
-                let (run, profile) = online::run_instrumented(instance, &mut l, &oracle);
+                let (run, profile) = match drive(instance, &mut l, &oracle, snap) {
+                    Ok(rp) => rp,
+                    Err(code) => return code,
+                };
                 let stats = l.engine_stats();
                 (run, profile, stats)
             }
@@ -409,7 +528,10 @@ fn simulate_with<O: GtOracle + Sync + Clone>(
                 };
                 let dp_opts = heterogeneous_rightsizing::offline::DpOptions { refine, ..dp_opts };
                 let mut rhc = RecedingHorizon::new(oracle.clone(), window).with_options(dp_opts);
-                let (run, profile) = online::run_instrumented(instance, &mut rhc, &oracle);
+                let (run, profile) = match drive(instance, &mut rhc, &oracle, snap) {
+                    Ok(rp) => rp,
+                    Err(code) => return code,
+                };
                 let stats = rhc.engine_stats();
                 (run, profile, stats)
             }
@@ -503,6 +625,14 @@ fn generate(args: &[String]) -> ExitCode {
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::from(2)
+}
+
+/// Solver-level failures — malformed loads, infeasible instances,
+/// corrupted snapshots — exit with code 3 (usage errors stay 2) so
+/// wrappers can tell \"bad invocation\" from \"bad data\".
+fn fail_solve(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(3)
 }
 
 #[cfg(test)]
