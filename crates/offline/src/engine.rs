@@ -36,7 +36,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rsz_core::{GtOracle, Instance};
 
@@ -53,6 +53,30 @@ pub const DEFAULT_POOL_CAP: usize = 512;
 /// layout. Shared via [`Arc`] so pool hits and the "last priced slot"
 /// handle of [`crate::PrefixDp`] never copy the values.
 pub type PricedSlot = Arc<Table>;
+
+/// A [`PricedSlotPool`] behind `Arc<Mutex<…>>`, shared by every solver
+/// whose `(slot partition, λ, grid)` keys collide — a multi-tenant
+/// owner (the `rsz serve` daemon) hands one pool to all tenants of the
+/// same fleet shape so a recurring load prices **once** across the
+/// whole tenancy. Sharing is sound because pricing is a pure function
+/// of `(instance, oracle, t, λ, grid)`: pool contents can change who
+/// pays for a pricing, never what any solver decides.
+pub type SharedSlotPool = Arc<Mutex<PricedSlotPool>>;
+
+/// Build a [`SharedSlotPool`] bound to `instance`'s shape.
+#[must_use]
+pub fn shared_pool(instance: &Instance, cap: usize) -> SharedSlotPool {
+    Arc::new(Mutex::new(PricedSlotPool::with_capacity(instance, cap)))
+}
+
+/// Lock a shared pool, recovering from poisoning: a sharer that
+/// panicked mid-step (a quarantined tenant) only ever leaves fully
+/// inserted entries behind — pricing is pure and insertions are
+/// `HashMap` puts — so the pool state is valid and the survivors keep
+/// going.
+pub fn lock_shared(pool: &SharedSlotPool) -> MutexGuard<'_, PricedSlotPool> {
+    pool.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Effectiveness counters of an engine's pricing path.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

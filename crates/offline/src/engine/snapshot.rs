@@ -87,6 +87,26 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The byte range of a sealed envelope that the payload checksum
+/// covers, read from the envelope's own header: `None` when the bytes
+/// are not even a plausible envelope (foreign magic, header truncated,
+/// or a declared length past the end of the buffer). On a
+/// [`SnapshotError::ChecksumMismatch`] this is the span a diagnostic
+/// should blame — `rsz simulate --resume` and the `rsz serve` daemon
+/// report it so a corrupted snapshot file can be inspected at the
+/// offending offsets instead of just "checksum mismatch".
+#[must_use]
+pub fn payload_range(bytes: &[u8]) -> Option<std::ops::Range<usize>> {
+    let header = MAGIC.len() + 1 + 8;
+    if bytes.len() < header || bytes[..MAGIC.len()] != MAGIC {
+        return None;
+    }
+    let declared = u64::from_le_bytes(bytes[MAGIC.len() + 1..header].try_into().expect("8 bytes"));
+    let declared = usize::try_from(declared).ok()?;
+    let end = header.checked_add(declared)?;
+    (end <= bytes.len()).then_some(header..end)
+}
+
 /// Little-endian byte sink for snapshot payloads.
 #[derive(Clone, Debug, Default)]
 pub struct Encoder {
@@ -371,6 +391,27 @@ mod tests {
         let payload_start = MAGIC.len() + 1 + 8;
         flipped[payload_start] ^= 0x01;
         assert_eq!(Decoder::from_sealed(&flipped).unwrap_err(), SnapshotError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn payload_range_reports_the_checksummed_span() {
+        let mut enc = Encoder::new();
+        enc.put_u64(1234);
+        let sealed = enc.into_sealed();
+        let header = MAGIC.len() + 1 + 8;
+        assert_eq!(payload_range(&sealed), Some(header..header + 8));
+
+        // The range is readable even when the payload is corrupt — that
+        // is the point: it locates the bytes that failed the check.
+        let mut flipped = sealed.clone();
+        flipped[header] ^= 0x01;
+        assert_eq!(payload_range(&flipped), Some(header..header + 8));
+
+        // Not an envelope / truncated header / declared length past the
+        // end: nothing sensible to report.
+        assert_eq!(payload_range(b"not a snapshot!!"), None);
+        assert_eq!(payload_range(&sealed[..4]), None);
+        assert_eq!(payload_range(&sealed[..sealed.len() - 9]), None);
     }
 
     #[test]

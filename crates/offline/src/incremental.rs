@@ -42,9 +42,22 @@ use rsz_core::{Config, GtOracle, Instance};
 
 use crate::dp::{betas, price_cells, DpOptions};
 use crate::engine::snapshot::{self, Decoder, Encoder, SnapshotError};
-use crate::engine::{add_priced, EngineStats, PricedSlotPool, DEFAULT_POOL_CAP};
+use crate::engine::{
+    add_priced, lock_shared, EngineStats, PricedSlotPool, SharedSlotPool, DEFAULT_POOL_CAP,
+};
 use crate::table::Table;
 use crate::transform::{arrival_transform_inplace, TransformScratch};
+
+/// The engine-mode pricing pool: owned by this solver, or a handle to
+/// a pool shared with other solvers of the same instance shape (see
+/// [`SharedSlotPool`]). Decisions never depend on which variant is in
+/// use — pricing is pure — so a shared pool only changes hit-rate
+/// accounting, never a schedule (property-tested in `tests/serve_chaos.rs`).
+#[derive(Clone, Debug)]
+enum Pool {
+    Owned(PricedSlotPool),
+    Shared(SharedSlotPool),
+}
 
 /// Rolling prefix-DP state.
 #[derive(Clone, Debug)]
@@ -65,7 +78,7 @@ pub struct PrefixDp {
     /// Counts of the last argmin cell ([`PrefixDp::step_counts`]).
     counts: Vec<u32>,
     /// Priced-slot pool (engine mode only).
-    pool: Option<PricedSlotPool>,
+    pool: Option<Pool>,
     /// The priced slot folded in by the most recent engine-mode step.
     last_priced: Option<Arc<Table>>,
     slots_processed: usize,
@@ -87,10 +100,10 @@ impl PrefixDp {
             scratch: TransformScratch::new(),
             counts: Vec::with_capacity(d),
             pool: options.engine.then(|| {
-                PricedSlotPool::with_capacity(
+                Pool::Owned(PricedSlotPool::with_capacity(
                     instance,
                     options.pool_capacity.unwrap_or(DEFAULT_POOL_CAP),
-                )
+                ))
             }),
             last_priced: None,
             slots_processed: 0,
@@ -129,10 +142,31 @@ impl PrefixDp {
     }
 
     /// Pricing counters of the engine's priced-slot pool (`None` when
-    /// the engine is off).
+    /// the engine is off). With a shared pool installed, the counters
+    /// are the pool's — i.e. aggregated across every sharer.
     #[must_use]
     pub fn engine_stats(&self) -> Option<EngineStats> {
-        self.pool.as_ref().map(PricedSlotPool::stats)
+        self.pool.as_ref().map(|pool| match pool {
+            Pool::Owned(p) => p.stats(),
+            Pool::Shared(p) => lock_shared(p).stats(),
+        })
+    }
+
+    /// Replace the engine's owned pricing pool with a handle to `pool`,
+    /// shared with other solvers of the same instance shape. Returns
+    /// `false` (and installs nothing) when the engine is off — sharing
+    /// only makes sense for the pooled pricing path.
+    ///
+    /// The shared pool must have been built against an instance with
+    /// the same fleet shape (same `max_counts`); mismatched slots
+    /// simply price without pooling, exactly like the owned path, so
+    /// this is a performance contract, not a correctness one.
+    pub fn share_pool(&mut self, pool: SharedSlotPool) -> bool {
+        if self.pool.is_none() {
+            return false;
+        }
+        self.pool = Some(Pool::Shared(pool));
+        true
     }
 
     /// Fold slot `t` of `instance` in and return `x̂^t_t`.
@@ -209,7 +243,12 @@ impl PrefixDp {
             &mut self.scratch,
         );
         if let Some(pool) = self.pool.as_mut() {
-            let priced = pool.get_or_price(instance, oracle, t, lambda, &self.levels);
+            let priced = match pool {
+                Pool::Owned(p) => p.get_or_price(instance, oracle, t, lambda, &self.levels),
+                Pool::Shared(p) => {
+                    lock_shared(p).get_or_price(instance, oracle, t, lambda, &self.levels)
+                }
+            };
             add_priced(&mut self.table, &priced, cost_scale);
             self.last_priced = Some(priced);
         } else {
@@ -260,8 +299,18 @@ impl PrefixDp {
             None => enc.put_u8(0),
             Some(pool) => {
                 enc.put_u8(1);
-                let s = pool.stats();
-                enc.put_usize(pool.capacity());
+                // A shared pool snapshots like an owned one (capacity +
+                // the shared counters); the owner re-installs the
+                // shared handle after restore if it wants to keep
+                // sharing — entries re-price on demand either way.
+                let (cap, s) = match pool {
+                    Pool::Owned(p) => (p.capacity(), p.stats()),
+                    Pool::Shared(p) => {
+                        let p = lock_shared(p);
+                        (p.capacity(), p.stats())
+                    }
+                };
+                enc.put_usize(cap);
                 enc.put_u64(s.pricings);
                 enc.put_u64(s.pool_hits);
                 enc.put_u64(s.slice_hits);
@@ -309,7 +358,7 @@ impl PrefixDp {
                 }
                 let mut pool = PricedSlotPool::with_capacity(instance, cap);
                 pool.restore_counters(pricings, pool_hits, slice_hits);
-                Some(pool)
+                Some(Pool::Owned(pool))
             }
             _ => return Err(SnapshotError::Corrupt("unknown pool tag")),
         };

@@ -198,6 +198,13 @@ impl<O: GtOracle + Sync> AlgorithmA<O> {
     pub fn engine_stats(&self) -> Option<rsz_offline::EngineStats> {
         self.prefix.engine_stats()
     }
+
+    /// Share the engine's priced-slot pool with other controllers of
+    /// the same instance shape (see [`rsz_offline::SharedSlotPool`]).
+    /// Returns `false` when the engine is off.
+    pub fn share_pool(&mut self, pool: rsz_offline::SharedSlotPool) -> bool {
+        self.prefix.share_pool(pool)
+    }
 }
 
 impl<O: GtOracle + Sync> OnlineAlgorithm for AlgorithmA<O> {

@@ -83,6 +83,13 @@ impl BCore {
         &self.power_ups
     }
 
+    /// Share the prefix solver's priced-slot pool (see
+    /// [`PrefixDp::share_pool`]). Returns `false` when the engine is
+    /// off.
+    pub fn share_pool(&mut self, pool: rsz_offline::SharedSlotPool) -> bool {
+        self.prefix.share_pool(pool)
+    }
+
     /// Process one (sub-)slot: retire batches whose accumulated idle cost
     /// exceeds `β_j`, then raise counts to the prefix optimum. `lambda`
     /// and `scale` parameterize the sub-slot refinement; plain Algorithm B
@@ -261,6 +268,19 @@ impl<O: GtOracle + Sync> AlgorithmB<O> {
     #[must_use]
     pub fn core(&self) -> &BCore {
         &self.core
+    }
+
+    /// Pricing counters of the prefix solver's engine (`None` when the
+    /// engine is off).
+    #[must_use]
+    pub fn engine_stats(&self) -> Option<rsz_offline::EngineStats> {
+        self.core.prefix().engine_stats()
+    }
+
+    /// Share the engine's priced-slot pool with other controllers of
+    /// the same instance shape. Returns `false` when the engine is off.
+    pub fn share_pool(&mut self, pool: rsz_offline::SharedSlotPool) -> bool {
+        self.core.share_pool(pool)
     }
 }
 

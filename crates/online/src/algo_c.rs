@@ -107,6 +107,12 @@ impl<O: GtOracle + Sync> AlgorithmC<O> {
         self.core.prefix().engine_stats()
     }
 
+    /// Share the engine's priced-slot pool with other controllers of
+    /// the same instance shape. Returns `false` when the engine is off.
+    pub fn share_pool(&mut self, pool: rsz_offline::SharedSlotPool) -> bool {
+        self.core.share_pool(pool)
+    }
+
     /// The operating cost `g_t(x)` used to rank sub-slot states: read
     /// from the engine's dense priced slot when available (the table was
     /// priced once for this slot and λ), falling back to the oracle for

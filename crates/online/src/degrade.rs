@@ -26,8 +26,9 @@
 use std::time::{Duration, Instant};
 
 use rsz_core::{Config, Instance};
-use rsz_offline::GridMode;
+use rsz_offline::{Decoder, Encoder, GridMode, SnapshotError};
 
+use crate::checkpoint::{codec, Checkpoint};
 use crate::runner::OnlineAlgorithm;
 
 /// A rung of the degradation ladder.
@@ -89,6 +90,17 @@ impl DegradeStats {
     pub fn decisions(&self) -> u64 {
         self.exact + self.coarse + self.hold
     }
+
+    /// Fold another controller's counters into this one — the rollup
+    /// behind the `rsz serve` daemon's per-daemon `/metrics` view,
+    /// where each tenant's degrader keeps its own counters and the
+    /// daemon reports both the per-tenant and the summed ladder.
+    pub fn absorb(&mut self, other: &DegradeStats) {
+        self.exact += other.exact;
+        self.coarse += other.coarse;
+        self.hold += other.hold;
+        self.saturated.extend_from_slice(&other.saturated);
+    }
 }
 
 /// Deadline-driven degradation wrapper. `factory` rebuilds the wrapped
@@ -140,6 +152,13 @@ where
     #[must_use]
     pub fn inner(&self) -> &A {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped controller — the serve daemon uses
+    /// this to install a shared pricing pool after construction or
+    /// restore (ladder state is untouched).
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
     }
 
     /// Record saturation and descend one rung if the decision overran
@@ -217,6 +236,84 @@ where
         self.after_decision(instance, t, elapsed);
         self.last = Some(choice.clone());
         choice
+    }
+}
+
+impl<A, F> Checkpoint for GracefulDegrader<A, F>
+where
+    A: OnlineAlgorithm + Checkpoint,
+    F: FnMut(&Instance, GridMode) -> A,
+{
+    fn algo_tag(&self) -> &'static str {
+        "degraded"
+    }
+
+    /// The ladder's resumable state: the wrapped algorithm's tag (so a
+    /// snapshot taken around algorithm X refuses to restore around Y),
+    /// the rung, the last committed decision (the hold rung's input),
+    /// the per-rung counters and saturation log, then the wrapped
+    /// controller's own state. The coarse twin is deliberately **not**
+    /// serialized: it is rebuilt by replaying the committed prefix on
+    /// the first post-restore coarse decision, which reproduces its
+    /// state deterministically (the same catch-up that built it live).
+    fn save_state(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.inner.algo_tag().as_bytes());
+        enc.put_u8(match self.rung {
+            Rung::Exact => 0,
+            Rung::Coarse => 1,
+            Rung::Hold => 2,
+        });
+        codec::put_config_opt(enc, self.last.as_ref());
+        enc.put_u64(self.stats.exact);
+        enc.put_u64(self.stats.coarse);
+        enc.put_u64(self.stats.hold);
+        enc.put_usize(self.stats.saturated.len());
+        for ev in &self.stats.saturated {
+            enc.put_usize(ev.t);
+            enc.put_f64(ev.load);
+            enc.put_f64(ev.capacity);
+        }
+        self.inner.save_state(enc);
+    }
+
+    fn restore_state(
+        &mut self,
+        instance: &Instance,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        if dec.take_bytes()? != self.inner.algo_tag().as_bytes() {
+            return Err(SnapshotError::Corrupt("degraded snapshot wraps a different algorithm"));
+        }
+        let rung = match dec.take_u8()? {
+            0 => Rung::Exact,
+            1 => Rung::Coarse,
+            2 => Rung::Hold,
+            _ => return Err(SnapshotError::Corrupt("unknown degradation rung")),
+        };
+        let last = codec::take_config_opt(dec, instance.num_types())?;
+        let mut stats = DegradeStats {
+            exact: dec.take_u64()?,
+            coarse: dec.take_u64()?,
+            hold: dec.take_u64()?,
+            saturated: Vec::new(),
+        };
+        let events = dec.take_usize()?;
+        if events > instance.horizon() {
+            return Err(SnapshotError::Corrupt("saturation log exceeds the horizon"));
+        }
+        for _ in 0..events {
+            stats.saturated.push(SaturationEvent {
+                t: dec.take_usize()?,
+                load: dec.take_f64()?,
+                capacity: dec.take_f64()?,
+            });
+        }
+        self.inner.restore_state(instance, dec)?;
+        self.rung = rung;
+        self.last = last;
+        self.stats = stats;
+        self.coarse = None;
+        Ok(())
     }
 }
 

@@ -58,6 +58,13 @@ impl<O: GtOracle + Sync> LazyCapacityProvisioning<O> {
         self.prefix.engine_stats()
     }
 
+    /// Share the prefix solver's priced-slot pool (see
+    /// [`PrefixDp::share_pool`]). Returns `false` when the engine is
+    /// off.
+    pub fn share_pool(&mut self, pool: rsz_offline::SharedSlotPool) -> bool {
+        self.prefix.share_pool(pool)
+    }
+
     /// The corridor `[lower, upper]` of final states of optimal prefix
     /// schedules in the current table.
     fn corridor(&self) -> (u32, u32) {

@@ -1,0 +1,998 @@
+//! The multi-tenant serving daemon.
+//!
+//! [`Daemon::handle`] is the whole protocol: one request line in, one
+//! reply line out. The TCP layer ([`crate::server`]) is a thin loop
+//! around it, which is what makes the chaos suite honest — tests drive
+//! the daemon in-process through the same entry point production
+//! traffic uses, and "kill -9" is dropping the daemon value on the
+//! floor mid-stream.
+//!
+//! Robustness layers, in the order a tick meets them:
+//!
+//! 1. **admission control** — a bounded per-tenant waiting counter;
+//!    beyond the bound the daemon sheds with `overloaded` instead of
+//!    queueing unboundedly (the degradation ladder, driven by the
+//!    per-decision deadline, engages *before* shedding: slow tenants
+//!    get cheaper decisions first, and only sustained overload sheds).
+//! 2. **WAL-before-decide** — a validated tick is appended to the
+//!    tenant's log before the controller runs, so a crash loses
+//!    replies, never accepted telemetry.
+//! 3. **the step boundary** — the controller runs under
+//!    `catch_unwind`; a panic quarantines that tenant and the daemon
+//!    answers the next request as if nothing happened.
+//! 4. **recovery** — on restart (or per-tenant revive) the snapshot
+//!    restores the controller and the WAL suffix replays through the
+//!    normal step path, bit-identical to the uninterrupted run.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use rsz_core::{Config, Instance, Schedule};
+use rsz_offline::{payload_range, shared_pool, Decoder, Encoder, SharedSlotPool, SnapshotError};
+use rsz_online::{restore_run, save_run, DegradeStats, GracefulDegrader, LatencyProfile};
+
+use crate::json::{self, Json};
+use crate::protocol::{self, decision_line, error_line, parse_request, wire, ErrorCode, Request};
+use crate::spec::{build_controller, TenantSpec};
+use crate::tenant::{QuarantineReason, TenantCounters, TenantDegrader, TenantState};
+use crate::wal::{self, WalRecord, WalScan, WalTail, WalWriter};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Directory for per-tenant WALs and snapshots.
+    pub state_dir: PathBuf,
+    /// Default per-decision budget (the global per-tick deadline);
+    /// tenants may override via `deadline_us`.
+    pub deadline: Option<Duration>,
+    /// `γ₀` for the coarse degradation rung.
+    pub coarse_gamma: f64,
+    /// Default snapshot cadence: seal state after every `K` fresh
+    /// decisions.
+    pub snapshot_every: usize,
+    /// Bound on concurrently waiting requests per tenant before
+    /// shedding.
+    pub queue_bound: usize,
+    /// Priced-slot pool retention bound for shared pools.
+    pub pool_capacity: usize,
+    /// Quarantine backoff: first retry gate.
+    pub backoff_base: Duration,
+    /// Quarantine backoff: gate ceiling.
+    pub backoff_cap: Duration,
+    /// Force WAL appends to stable storage (`sync_data`) — survives
+    /// power loss, not just process death. Off by default: the tests'
+    /// crash model is process death.
+    pub fsync: bool,
+    /// Allow the `panic:T` fault-hook algorithm (chaos tests only).
+    pub allow_fault_hooks: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            state_dir: PathBuf::from("rsz-state"),
+            deadline: None,
+            coarse_gamma: 2.0,
+            snapshot_every: 16,
+            queue_bound: 4,
+            pool_capacity: rsz_offline::DEFAULT_POOL_CAP,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(10),
+            fsync: false,
+            allow_fault_hooks: false,
+        }
+    }
+}
+
+/// Daemon-wide counters, all monotone, exported via `/metrics`.
+#[derive(Debug, Default)]
+pub struct DaemonCounters {
+    /// Request lines handled (any op).
+    pub requests: AtomicU64,
+    /// Lines rejected as `bad_request`.
+    pub bad_requests: AtomicU64,
+    /// Tick requests (fresh + replayed + rejected).
+    pub ticks: AtomicU64,
+    /// Fresh decisions made.
+    pub decisions: AtomicU64,
+    /// Duplicate-seq ticks answered from committed history.
+    pub replays: AtomicU64,
+    /// Ticks shed by admission control.
+    pub shed: AtomicU64,
+    /// Quarantine entries (any tenant, any reason).
+    pub quarantines: AtomicU64,
+    /// Successful revivals out of quarantine.
+    pub revives: AtomicU64,
+    /// Torn WAL tails truncated during recovery.
+    pub wal_truncations: AtomicU64,
+    /// Recoveries that ignored a bad snapshot and replayed the full WAL.
+    pub snapshot_fallbacks: AtomicU64,
+    /// Snapshots sealed.
+    pub snapshots: AtomicU64,
+    /// Tenants recovered from disk at startup.
+    pub recovered: AtomicU64,
+}
+
+/// One tenant's concurrency gate plus its state.
+pub struct TenantSlot {
+    waiting: AtomicUsize,
+    state: Mutex<TenantState>,
+}
+
+/// Decrements the waiting counter even when the handler bails early.
+struct QueueGuard<'a>(&'a AtomicUsize);
+
+impl Drop for QueueGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Lock a mutex, shrugging off poisoning: a panicked handler thread
+/// must never take the tenant (or the daemon) down with it.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The serving daemon. Thread-safe: the TCP layer calls
+/// [`Daemon::handle`] from one thread per connection.
+pub struct Daemon {
+    options: ServeOptions,
+    started: Instant,
+    tenants: Mutex<HashMap<String, Arc<TenantSlot>>>,
+    pools: Mutex<HashMap<String, SharedSlotPool>>,
+    /// Counters, public for the bench harness.
+    pub counters: DaemonCounters,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    /// Start a daemon over `options.state_dir`, recovering every tenant
+    /// whose WAL survives there. Recovery failures quarantine the
+    /// tenant in question; they never fail daemon startup.
+    pub fn new(options: ServeOptions) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&options.state_dir)?;
+        let daemon = Self {
+            options,
+            started: Instant::now(),
+            tenants: Mutex::new(HashMap::new()),
+            pools: Mutex::new(HashMap::new()),
+            counters: DaemonCounters::default(),
+            shutdown: AtomicBool::new(false),
+        };
+        daemon.recover_all();
+        Ok(daemon)
+    }
+
+    /// The options the daemon runs with.
+    #[must_use]
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Whether an orderly shutdown has been requested.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handle one request line, returning one reply line. Never panics
+    /// on any input; never returns more or less than one line.
+    pub fn handle(&self, line: &str) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return error_line(ErrorCode::BadRequest, &e.detail);
+            }
+        };
+        match request {
+            Request::Register { tenant, spec } => self.handle_register(&tenant, spec),
+            Request::Tick { tenant, seq, load } => self.handle_tick(&tenant, seq, load),
+            Request::Health => self.health_line(),
+            Request::Metrics => self.metrics_line(),
+            Request::Shutdown => {
+                self.snapshot_all();
+                self.shutdown.store(true, Ordering::SeqCst);
+                json::obj(vec![("ok", Json::Bool(true)), ("stopping", Json::Bool(true))]).to_line()
+            }
+        }
+    }
+
+    fn handle_register(&self, name: &str, spec: TenantSpec) -> String {
+        if let Err(detail) = spec.validate(self.options.allow_fault_hooks) {
+            return error_line(ErrorCode::Input, &detail);
+        }
+        let slot = {
+            let tenants = lock_clean(&self.tenants);
+            tenants.get(name).cloned()
+        };
+        if let Some(slot) = slot {
+            // Idempotent re-attach: same spec resumes; a different spec
+            // for a live name is a caller bug.
+            let st = lock_clean(&slot.state);
+            if st.spec != spec {
+                return error_line(
+                    ErrorCode::Input,
+                    "tenant already registered with a different spec",
+                );
+            }
+            return json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("tenant", json::s(name)),
+                ("resumed_ticks", json::n(st.loads.len() as f64)),
+                ("quarantined", Json::Bool(st.quarantine.is_some())),
+            ])
+            .to_line();
+        }
+        // Fresh tenant: open its WAL and log the registration first.
+        let types = match spec.server_types() {
+            Ok(t) => t,
+            Err(detail) => return error_line(ErrorCode::Input, &detail),
+        };
+        let path = wal::wal_path(&self.options.state_dir, name);
+        let mut writer = match WalWriter::open(&path, self.options.fsync) {
+            Ok(w) => w,
+            Err(e) => return error_line(ErrorCode::Quarantined, &format!("WAL open failed: {e}")),
+        };
+        if let Err(e) = writer.append(&WalRecord::Register(spec.clone())) {
+            return error_line(ErrorCode::Quarantined, &format!("WAL append failed: {e}"));
+        }
+        let state = TenantState {
+            spec,
+            types,
+            loads: Vec::new(),
+            decisions: Vec::new(),
+            controller: None,
+            wal: Some(writer),
+            fresh_since_snapshot: 0,
+            quarantine: None,
+            counters: TenantCounters::default(),
+        };
+        lock_clean(&self.tenants).insert(
+            name.to_owned(),
+            Arc::new(TenantSlot { waiting: AtomicUsize::new(0), state: Mutex::new(state) }),
+        );
+        json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("tenant", json::s(name)),
+            ("resumed_ticks", json::n(0.0)),
+            ("quarantined", Json::Bool(false)),
+        ])
+        .to_line()
+    }
+
+    fn handle_tick(&self, name: &str, seq: u64, load: f64) -> String {
+        self.counters.ticks.fetch_add(1, Ordering::Relaxed);
+        let slot = {
+            let tenants = lock_clean(&self.tenants);
+            match tenants.get(name) {
+                Some(s) => s.clone(),
+                None => return error_line(ErrorCode::UnknownTenant, "register first"),
+            }
+        };
+        // Admission control: bounded waiting per tenant, shed beyond.
+        let admitted = slot
+            .waiting
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |w| {
+                (w < self.options.queue_bound).then_some(w + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return error_line(ErrorCode::Overloaded, "tenant queue full; retry with backoff");
+        }
+        let _guard = QueueGuard(&slot.waiting);
+        let mut st = lock_clean(&slot.state);
+
+        // Quarantine gate: bounce until the backoff expires, then try
+        // to revive; a failed revival re-enters with a longer gate.
+        if let Some(q) = st.quarantine.clone() {
+            if Instant::now() < q.until {
+                return error_line(
+                    q.reason.code(),
+                    &format!(
+                        "tenant quarantined ({}): {}; retry in {:?}",
+                        q.reason.as_str(),
+                        q.detail,
+                        q.until.saturating_duration_since(Instant::now())
+                    ),
+                );
+            }
+            match self.revive(&mut st, name) {
+                Ok(()) => {
+                    st.quarantine = None;
+                    self.counters.revives.fetch_add(1, Ordering::Relaxed);
+                }
+                Err((reason, detail)) => {
+                    self.quarantine(&mut st, name, reason, detail.clone());
+                    return error_line(reason.code(), &detail);
+                }
+            }
+        }
+
+        // Idempotent sequencing: a duplicate replays its committed
+        // decision, a gap is the client's bug (no quarantine — nothing
+        // was accepted).
+        let expected = st.loads.len() as u64;
+        if seq < expected {
+            let config = match st.decisions.get(seq as usize) {
+                Some(c) => c.clone(),
+                // The decision for this accepted tick is still pending
+                // (its first attempt panicked and we just revived): the
+                // client should re-send the *next* seq; report the gap.
+                None => {
+                    return error_line(
+                        ErrorCode::Input,
+                        &format!("seq {seq} accepted but undecided; resend seq {expected}"),
+                    )
+                }
+            };
+            st.counters.replays += 1;
+            self.counters.replays.fetch_add(1, Ordering::Relaxed);
+            let rung = st.controller.as_ref().map_or(rsz_online::Rung::Exact, |c| c.rung());
+            return decision_line(seq, &config, rung, true);
+        }
+        if seq > expected {
+            return error_line(
+                ErrorCode::Input,
+                &format!("seq gap: expected {expected}, got {seq}"),
+            );
+        }
+
+        // Validation before the WAL: the log holds only accepted ticks.
+        if let Err(detail) = st.validate_load(load) {
+            st.counters.rejected += 1;
+            self.quarantine(&mut st, name, QuarantineReason::Input, detail.clone());
+            return error_line(ErrorCode::Input, &detail);
+        }
+        match st.wal.as_mut() {
+            Some(w) => {
+                if let Err(e) = w.append(&WalRecord::Tick { seq, load }) {
+                    let detail = format!("WAL append failed: {e}");
+                    self.quarantine(&mut st, name, QuarantineReason::Io, detail.clone());
+                    return error_line(ErrorCode::Quarantined, &detail);
+                }
+            }
+            None => {
+                let detail = "WAL writer unavailable".to_owned();
+                self.quarantine(&mut st, name, QuarantineReason::Io, detail.clone());
+                return error_line(ErrorCode::Quarantined, &detail);
+            }
+        }
+        st.loads.push(load);
+
+        match self.step(&mut st, name) {
+            Ok((config, rung, elapsed)) => {
+                st.counters.decisions += 1;
+                st.counters.push_latency(elapsed.as_secs_f64());
+                self.counters.decisions.fetch_add(1, Ordering::Relaxed);
+                st.fresh_since_snapshot += 1;
+                let cadence = if st.spec.snapshot_every == 0 {
+                    self.options.snapshot_every
+                } else {
+                    st.spec.snapshot_every
+                };
+                if cadence > 0 && st.fresh_since_snapshot >= cadence {
+                    self.write_snapshot(&mut st, name);
+                }
+                decision_line(seq, &config, rung, false)
+            }
+            Err((reason, detail)) => {
+                self.quarantine(&mut st, name, reason, detail.clone());
+                error_line(reason.code(), &detail)
+            }
+        }
+    }
+
+    /// Decide the latest accepted slot. The controller runs under
+    /// `catch_unwind`: a panic here is the tenant's problem, never the
+    /// daemon's.
+    fn step(
+        &self,
+        st: &mut TenantState,
+        name: &str,
+    ) -> Result<(Config, rsz_online::Rung, Duration), (QuarantineReason, String)> {
+        if st.controller.is_none() {
+            self.build_tenant_controller(st, name)?;
+        }
+        let instance = st.prefix_instance().map_err(|e| (QuarantineReason::Solver, e))?;
+        let t = st.loads.len() - 1;
+        let controller = st.controller.as_mut().expect("just built");
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            rsz_online::OnlineAlgorithm::decide(controller, &instance, t)
+        }));
+        let elapsed = start.elapsed();
+        match outcome {
+            Ok(config) => {
+                let rung = controller.rung();
+                st.decisions.push(config.clone());
+                Ok((config, rung, elapsed))
+            }
+            Err(payload) => {
+                // The controller is gone; recovery rebuilds it from the
+                // snapshot + WAL. The tick stays accepted.
+                st.controller = None;
+                let what = panic_message(payload);
+                Err((
+                    QuarantineReason::Solver,
+                    format!("controller panicked deciding slot {t}: {what}"),
+                ))
+            }
+        }
+    }
+
+    /// Build (or rebuild) the tenant's degrader for its current prefix
+    /// and install the shared pricing pool.
+    fn build_tenant_controller(
+        &self,
+        st: &mut TenantState,
+        _name: &str,
+    ) -> Result<(), (QuarantineReason, String)> {
+        let instance = st.prefix_instance().map_err(|e| (QuarantineReason::Solver, e))?;
+        let spec = st.spec.clone();
+        let inner =
+            catch_unwind(AssertUnwindSafe(|| build_controller(&spec, &instance, spec.grid.mode())))
+                .map_err(|p| (QuarantineReason::Solver, panic_message(p)))?
+                .map_err(|e| (QuarantineReason::Solver, e))?;
+        let factory_spec = st.spec.clone();
+        let factory: crate::tenant::ControllerFactory = Box::new(move |inst, grid| {
+            build_controller(&factory_spec, inst, grid).expect("spec validated at registration")
+        });
+        let mut degrader = GracefulDegrader::new(
+            inner,
+            factory,
+            st.degrade_options(self.options.deadline, self.options.coarse_gamma),
+        );
+        self.install_pool(st, &instance, &mut degrader);
+        st.controller = Some(degrader);
+        Ok(())
+    }
+
+    /// Point the tenant's engine at the pool shared by every tenant
+    /// with the same `(fleet, grid)` key. Sound because pricing is a
+    /// pure function of `(partition, λ, grid)`: pool contents change
+    /// hit rates, never decisions.
+    fn install_pool(&self, st: &TenantState, instance: &Instance, degrader: &mut TenantDegrader) {
+        if !st.spec.engine {
+            return;
+        }
+        let key = st.spec.pool_key();
+        let pool = {
+            let mut pools = lock_clean(&self.pools);
+            pools
+                .entry(key)
+                .or_insert_with(|| shared_pool(instance, self.options.pool_capacity))
+                .clone()
+        };
+        degrader.inner_mut().share_pool(pool);
+    }
+
+    /// Bring a tenant back from quarantine (or rebuild a controller a
+    /// panic destroyed): restore from the snapshot when possible, fall
+    /// back to a full WAL replay, then replay any undecided suffix
+    /// through the normal step path.
+    fn revive(&self, st: &mut TenantState, name: &str) -> Result<(), (QuarantineReason, String)> {
+        // Input quarantines keep the controller: the bad tick was never
+        // applied, so the state is intact and the gate alone suffices.
+        if st.quarantine.as_ref().is_some_and(|q| q.reason == QuarantineReason::Input)
+            && st.controller.is_some()
+            && st.decisions.len() == st.loads.len()
+        {
+            return Ok(());
+        }
+        if st.wal.is_none() {
+            let path = wal::wal_path(&self.options.state_dir, name);
+            st.wal = Some(
+                WalWriter::open(&path, self.options.fsync)
+                    .map_err(|e| (QuarantineReason::Io, format!("WAL reopen failed: {e}")))?,
+            );
+        }
+        st.controller = None;
+        st.decisions.clear();
+        self.restore_from_snapshot(st, name);
+        // Replay the undecided suffix through the very same step path a
+        // live tick takes — this is what makes resume bit-identical.
+        while st.decisions.len() < st.loads.len() {
+            let have = st.decisions.len();
+            let full = std::mem::take(&mut st.loads);
+            st.loads = full[..=have].to_vec();
+            let result = self.step(st, name);
+            st.loads = full;
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Try to restore controller + committed decisions from the
+    /// snapshot file. Any failure falls back to a fresh controller
+    /// (full WAL replay) — a bad snapshot degrades recovery time, not
+    /// correctness, and is counted + detailed.
+    fn restore_from_snapshot(&self, st: &mut TenantState, name: &str) {
+        let path = wal::snap_path(&self.options.state_dir, name);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return, // no snapshot: full replay
+        };
+        if self.try_restore(st, name, &bytes).is_err() {
+            // Quarantine would be wrong here: the WAL still recovers
+            // this tenant fully, just slower. Count the fallback.
+            st.controller = None;
+            st.decisions.clear();
+            st.counters.snapshot_fallbacks += 1;
+            self.counters.snapshot_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_restore(&self, st: &mut TenantState, name: &str, bytes: &[u8]) -> Result<(), String> {
+        let mut dec =
+            Decoder::from_sealed(bytes).map_err(|e| describe_snapshot_error(bytes, &e))?;
+        let snap_name =
+            wire::take_str(&mut dec, "snapshot tenant name is not UTF-8").map_err(stringify)?;
+        if snap_name != name {
+            return Err(format!("snapshot belongs to tenant `{snap_name}`"));
+        }
+        let snap_spec = TenantSpec::decode(&mut dec).map_err(stringify)?;
+        if snap_spec != st.spec {
+            return Err("snapshot was taken under a different spec".into());
+        }
+        let k = dec.take_usize().map_err(stringify)?;
+        if k == 0 || k > st.loads.len() {
+            return Err(format!("snapshot covers {k} slots but the WAL holds {}", st.loads.len()));
+        }
+        let inner = dec.take_bytes().map_err(stringify)?.to_vec();
+        let full = std::mem::take(&mut st.loads);
+        st.loads = full[..k].to_vec();
+        let built = self.build_tenant_controller(st, name);
+        let result = (|| {
+            built.map_err(|(_, e)| e)?;
+            let instance = st.prefix_instance()?;
+            let controller = st.controller.as_mut().expect("just built");
+            let committed = restore_run(controller, &instance, &inner)
+                .map_err(|e| describe_snapshot_error(&inner, &e))?;
+            if committed.len() != k {
+                return Err("snapshot committed length disagrees with its header".into());
+            }
+            st.decisions = committed.iter().map(|(_, c)| c.clone()).collect();
+            Ok(())
+        })();
+        st.loads = full;
+        match &result {
+            Ok(()) => {
+                // restore_state rebuilds internal pools as owned, so
+                // the shared handle must be re-installed after restore.
+                if let Ok(instance) = st.prefix_instance() {
+                    if let Some(mut degrader) = st.controller.take() {
+                        self.install_pool(st, &instance, &mut degrader);
+                        st.controller = Some(degrader);
+                    }
+                }
+            }
+            Err(_) => {
+                st.controller = None;
+                st.decisions.clear();
+            }
+        }
+        result
+    }
+
+    /// Seal the tenant's state: `(name, spec, k, save_run bytes)` in a
+    /// checksummed envelope, written via tmp + rename so a crash leaves
+    /// either the old snapshot or the new one, never a hybrid.
+    fn write_snapshot(&self, st: &mut TenantState, name: &str) {
+        let Some(controller) = st.controller.as_ref() else { return };
+        let k = st.decisions.len();
+        if k == 0 || k != st.loads.len() {
+            return;
+        }
+        let instance = match st.prefix_instance() {
+            Ok(i) => i,
+            Err(_) => return,
+        };
+        let mut committed = Schedule::empty();
+        for c in &st.decisions {
+            committed.push(c.clone());
+        }
+        let inner = save_run(controller, &instance, &committed);
+        let mut enc = Encoder::new();
+        enc.put_bytes(name.as_bytes());
+        st.spec.encode(&mut enc);
+        enc.put_usize(k);
+        enc.put_bytes(&inner);
+        let sealed = enc.into_sealed();
+        let path = wal::snap_path(&self.options.state_dir, name);
+        let tmp = path.with_extension("snap.tmp");
+        let io = std::fs::write(&tmp, &sealed).and_then(|()| std::fs::rename(&tmp, &path));
+        match io {
+            Ok(()) => {
+                st.fresh_since_snapshot = 0;
+                st.counters.snapshots += 1;
+                self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Snapshot write failure is not fatal: the WAL still
+                // recovers everything, just slower.
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Snapshot every live tenant (orderly shutdown).
+    pub fn snapshot_all(&self) {
+        let slots: Vec<(String, Arc<TenantSlot>)> = {
+            let tenants = lock_clean(&self.tenants);
+            tenants.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        for (name, slot) in slots {
+            let mut st = lock_clean(&slot.state);
+            if st.quarantine.is_none() {
+                self.write_snapshot(&mut st, &name);
+            }
+        }
+    }
+
+    /// Scan the state directory for surviving WALs and recover each
+    /// tenant. Per-tenant failures quarantine that tenant; nothing here
+    /// aborts startup.
+    fn recover_all(&self) {
+        let entries = match std::fs::read_dir(&self.options.state_dir) {
+            Ok(e) => e,
+            Err(_) => return,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wal") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
+                continue;
+            };
+            if let Some(state) = self.recover_tenant(&name) {
+                self.counters.recovered.fetch_add(1, Ordering::Relaxed);
+                lock_clean(&self.tenants).insert(
+                    name,
+                    Arc::new(TenantSlot { waiting: AtomicUsize::new(0), state: Mutex::new(state) }),
+                );
+            }
+        }
+    }
+
+    /// Recover one tenant from its WAL (+snapshot). Returns `None` only
+    /// when the log holds nothing usable at all (no registration).
+    fn recover_tenant(&self, name: &str) -> Option<TenantState> {
+        let path = wal::wal_path(&self.options.state_dir, name);
+        let bytes = wal::read_file(&path).ok()?;
+        if bytes.is_empty() {
+            return None;
+        }
+        let WalScan { records, intact_len, tail } = wal::scan(&bytes);
+        let mut corrupt_detail = None;
+        match tail {
+            WalTail::Clean => {}
+            WalTail::Torn { .. } => {
+                // Crash-consistent: drop the torn tail and resume from
+                // the intact prefix.
+                let _ = wal::truncate_file(&path, intact_len);
+                self.counters.wal_truncations.fetch_add(1, Ordering::Relaxed);
+            }
+            WalTail::Corrupt { start, end, what } => {
+                corrupt_detail = Some(format!("WAL bytes {start}..{end} failed integrity: {what}"));
+            }
+        }
+        let mut records = records.into_iter();
+        let spec = match records.next() {
+            Some(WalRecord::Register(spec)) => spec,
+            // No usable registration: nothing to attach a tenant to.
+            _ => return None,
+        };
+        let types = spec.server_types().ok()?;
+        let mut state = TenantState {
+            spec,
+            types,
+            loads: Vec::new(),
+            decisions: Vec::new(),
+            controller: None,
+            wal: None,
+            fresh_since_snapshot: 0,
+            quarantine: None,
+            counters: TenantCounters::default(),
+        };
+        for record in records {
+            match record {
+                WalRecord::Tick { seq, load } if seq == state.loads.len() as u64 => {
+                    if state.validate_load(load).is_err() {
+                        corrupt_detail.get_or_insert_with(|| {
+                            format!("WAL holds an invalid accepted load at seq {seq}")
+                        });
+                        break;
+                    }
+                    state.loads.push(load);
+                }
+                _ => {
+                    corrupt_detail.get_or_insert_with(|| "WAL records out of sequence".to_owned());
+                    break;
+                }
+            }
+        }
+        if let Some(detail) = corrupt_detail {
+            self.quarantine(&mut state, name, QuarantineReason::WalCorrupt, detail);
+            return Some(state);
+        }
+        match WalWriter::open(&path, self.options.fsync) {
+            Ok(w) => state.wal = Some(w),
+            Err(e) => {
+                self.quarantine(
+                    &mut state,
+                    name,
+                    QuarantineReason::Io,
+                    format!("WAL reopen failed: {e}"),
+                );
+                return Some(state);
+            }
+        }
+        if !state.loads.is_empty() {
+            if let Err((reason, detail)) = self.revive(&mut state, name) {
+                self.quarantine(&mut state, name, reason, detail);
+            }
+        }
+        Some(state)
+    }
+
+    fn quarantine(
+        &self,
+        st: &mut TenantState,
+        name: &str,
+        reason: QuarantineReason,
+        detail: String,
+    ) {
+        self.counters.quarantines.fetch_add(1, Ordering::Relaxed);
+        st.enter_quarantine(
+            reason,
+            detail,
+            self.options.backoff_base,
+            self.options.backoff_cap,
+            name,
+        );
+    }
+
+    fn health_line(&self) -> String {
+        let (total, quarantined) = {
+            let tenants = lock_clean(&self.tenants);
+            let q = tenants.values().filter(|s| lock_clean(&s.state).quarantine.is_some()).count();
+            (tenants.len(), q)
+        };
+        json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("status", json::s(if quarantined == 0 { "ok" } else { "degraded" })),
+            ("uptime_us", json::n(self.started.elapsed().as_micros() as f64)),
+            ("tenants", json::n(total as f64)),
+            ("quarantined", json::n(quarantined as f64)),
+        ])
+        .to_line()
+    }
+
+    fn metrics_line(&self) -> String {
+        let c = &self.counters;
+        let mut daemon_degrade = DegradeStats::default();
+        let mut tenant_objs: Vec<(String, Json)> = Vec::new();
+        let mut pool_pricings = 0u64;
+        let mut pool_hits = 0u64;
+        {
+            let tenants = lock_clean(&self.tenants);
+            let mut names: Vec<&String> = tenants.keys().collect();
+            names.sort();
+            for name in names {
+                let slot = &tenants[name];
+                let st = lock_clean(&slot.state);
+                let profile = LatencyProfile::new(st.counters.latencies.clone());
+                let (exact, coarse, hold, rung) = match st.controller.as_ref() {
+                    Some(ctl) => {
+                        daemon_degrade.absorb(ctl.stats());
+                        (
+                            ctl.stats().exact,
+                            ctl.stats().coarse,
+                            ctl.stats().hold,
+                            protocol::rung_str(ctl.rung()),
+                        )
+                    }
+                    None => (0, 0, 0, "none"),
+                };
+                let engine = st.controller.as_ref().and_then(|ctl| ctl.inner().engine_stats());
+                if let Some(e) = &engine {
+                    pool_pricings += e.pricings;
+                    pool_hits += e.pool_hits;
+                }
+                let mut fields = vec![
+                    ("ticks".to_owned(), json::n(st.loads.len() as f64)),
+                    ("decisions".to_owned(), json::n(st.counters.decisions as f64)),
+                    ("replays".to_owned(), json::n(st.counters.replays as f64)),
+                    ("rejected".to_owned(), json::n(st.counters.rejected as f64)),
+                    ("quarantines".to_owned(), json::n(st.counters.quarantines as f64)),
+                    ("snapshots".to_owned(), json::n(st.counters.snapshots as f64)),
+                    ("snapshot_lag".to_owned(), json::n(st.fresh_since_snapshot as f64)),
+                    ("rung".to_owned(), json::s(rung)),
+                    ("rung_exact".to_owned(), json::n(exact as f64)),
+                    ("rung_coarse".to_owned(), json::n(coarse as f64)),
+                    ("rung_hold".to_owned(), json::n(hold as f64)),
+                    ("latency_p50_us".to_owned(), json::n(profile.quantile(0.5) * 1e6)),
+                    ("latency_p99_us".to_owned(), json::n(profile.quantile(0.99) * 1e6)),
+                ];
+                if let Some(e) = engine {
+                    fields.push(("pool_pricings".to_owned(), json::n(e.pricings as f64)));
+                    fields.push(("pool_hits".to_owned(), json::n(e.pool_hits as f64)));
+                }
+                if let Some(q) = &st.quarantine {
+                    fields.push(("quarantined".to_owned(), json::s(q.reason.as_str())));
+                    fields.push(("quarantine_detail".to_owned(), json::s(&q.detail)));
+                }
+                tenant_objs.push((name.clone(), Json::Obj(fields)));
+            }
+        }
+        let total_lookups = pool_pricings + pool_hits;
+        let hit_rate =
+            if total_lookups == 0 { 0.0 } else { pool_hits as f64 / total_lookups as f64 };
+        json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("requests", json::n(c.requests.load(Ordering::Relaxed) as f64)),
+            ("bad_requests", json::n(c.bad_requests.load(Ordering::Relaxed) as f64)),
+            ("ticks", json::n(c.ticks.load(Ordering::Relaxed) as f64)),
+            ("decisions", json::n(c.decisions.load(Ordering::Relaxed) as f64)),
+            ("replays", json::n(c.replays.load(Ordering::Relaxed) as f64)),
+            ("shed", json::n(c.shed.load(Ordering::Relaxed) as f64)),
+            ("quarantines", json::n(c.quarantines.load(Ordering::Relaxed) as f64)),
+            ("revives", json::n(c.revives.load(Ordering::Relaxed) as f64)),
+            ("wal_truncations", json::n(c.wal_truncations.load(Ordering::Relaxed) as f64)),
+            ("snapshot_fallbacks", json::n(c.snapshot_fallbacks.load(Ordering::Relaxed) as f64)),
+            ("snapshots", json::n(c.snapshots.load(Ordering::Relaxed) as f64)),
+            ("recovered", json::n(c.recovered.load(Ordering::Relaxed) as f64)),
+            ("pool_hit_rate", json::n(hit_rate)),
+            ("rung_exact", json::n(daemon_degrade.exact as f64)),
+            ("rung_coarse", json::n(daemon_degrade.coarse as f64)),
+            ("rung_hold", json::n(daemon_degrade.hold as f64)),
+            ("tenants", Json::Obj(tenant_objs)),
+        ])
+        .to_line()
+    }
+}
+
+fn stringify(e: SnapshotError) -> String {
+    format!("{e}")
+}
+
+/// Human-readable snapshot failure, including the byte range that
+/// failed the FNV-1a check when that is what happened.
+pub fn describe_snapshot_error(bytes: &[u8], e: &SnapshotError) -> String {
+    if matches!(e, SnapshotError::ChecksumMismatch) {
+        if let Some(range) = payload_range(bytes) {
+            return format!("{e} (bytes {}..{} failed the FNV-1a check)", range.start, range.end);
+        }
+    }
+    format!("{e}")
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rsz-serve-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn options(dir: &std::path::Path) -> ServeOptions {
+        ServeOptions { state_dir: dir.to_path_buf(), ..ServeOptions::default() }
+    }
+
+    fn decided_counts(reply: &str) -> Vec<u64> {
+        let v = json::parse(reply).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{reply}");
+        match v.get("config").unwrap() {
+            Json::Arr(items) => items.iter().map(|i| i.as_u64().unwrap()).collect(),
+            other => panic!("bad config: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_tick_and_kill_restart_resume_bit_identically() {
+        let dir = tmp_dir("resume");
+        let loads = [1.0, 2.5, 0.5, 3.0, 1.5, 0.0, 2.0, 2.75];
+
+        // Uninterrupted baseline.
+        let daemon = Daemon::new(options(&dir)).unwrap();
+        let reg = r#"{"op":"register","tenant":"t1","fleet":"cpu-gpu:2,1","algo":"b","snapshot_every":3}"#;
+        let v = json::parse(&daemon.handle(reg)).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let mut baseline = Vec::new();
+        for (i, l) in loads.iter().enumerate() {
+            let line = format!(r#"{{"op":"tick","tenant":"t1","seq":{i},"load":{l}}}"#);
+            baseline.push(decided_counts(&daemon.handle(&line)));
+        }
+        drop(daemon); // kill -9: no shutdown, no final snapshot
+
+        // Restart over the same state dir: recovery must replay the WAL
+        // (+snapshot) and answer duplicate seqs from committed history.
+        let daemon = Daemon::new(options(&dir)).unwrap();
+        assert_eq!(daemon.counters.recovered.load(Ordering::Relaxed), 1);
+        let v = json::parse(&daemon.handle(reg)).unwrap();
+        assert_eq!(v.get("resumed_ticks").and_then(Json::as_u64), Some(loads.len() as u64));
+        for (i, _) in loads.iter().enumerate() {
+            let line = format!(r#"{{"op":"tick","tenant":"t1","seq":{i},"load":99.0}}"#);
+            let reply = daemon.handle(&line);
+            let v = json::parse(&reply).unwrap();
+            assert_eq!(v.get("replayed").and_then(Json::as_bool), Some(true), "{reply}");
+            assert_eq!(decided_counts(&reply), baseline[i], "seq {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_loads_quarantine_the_tenant_not_the_daemon() {
+        let dir = tmp_dir("poison");
+        let daemon = Daemon::new(options(&dir)).unwrap();
+        for name in ["good", "bad"] {
+            let reg = format!(r#"{{"op":"register","tenant":"{name}","fleet":"homogeneous:3"}}"#);
+            assert!(daemon.handle(&reg).contains("\"ok\":true"));
+        }
+        daemon.handle(r#"{"op":"tick","tenant":"good","seq":0,"load":1.0}"#);
+        daemon.handle(r#"{"op":"tick","tenant":"bad","seq":0,"load":1.0}"#);
+        // Poisoned λ: null load → NaN → input quarantine for `bad` only.
+        let reply = daemon.handle(r#"{"op":"tick","tenant":"bad","seq":1,"load":null}"#);
+        assert!(reply.contains("\"error\":\"input\""), "{reply}");
+        // `bad` is gated…
+        let reply = daemon.handle(r#"{"op":"tick","tenant":"bad","seq":1,"load":1.0}"#);
+        assert!(reply.contains("quarantined"), "{reply}");
+        // …while `good` keeps deciding.
+        let reply = daemon.handle(r#"{"op":"tick","tenant":"good","seq":1,"load":2.0}"#);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let health = daemon.handle("GET /health");
+        assert!(health.contains("\"quarantined\":1"), "{health}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn controller_panics_are_caught_at_the_step_boundary() {
+        let dir = tmp_dir("panic");
+        let daemon =
+            Daemon::new(ServeOptions { allow_fault_hooks: true, ..options(&dir) }).unwrap();
+        let reg = r#"{"op":"register","tenant":"t","fleet":"homogeneous:3","algo":"panic:2"}"#;
+        assert!(daemon.handle(reg).contains("\"ok\":true"));
+        for i in 0..2 {
+            let line = format!(r#"{{"op":"tick","tenant":"t","seq":{i},"load":1.0}}"#);
+            assert!(daemon.handle(&line).contains("\"ok\":true"));
+        }
+        let reply = daemon.handle(r#"{"op":"tick","tenant":"t","seq":2,"load":1.0}"#);
+        assert!(reply.contains("\"error\":\"solver\""), "{reply}");
+        assert!(reply.contains("injected fault"), "{reply}");
+        // The daemon itself stays healthy.
+        assert!(daemon.handle("GET /health").contains("\"ok\":true"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_hooks_are_rejected_unless_enabled() {
+        let dir = tmp_dir("hooks");
+        let daemon = Daemon::new(options(&dir)).unwrap();
+        let reg = r#"{"op":"register","tenant":"t","fleet":"homogeneous:3","algo":"panic:2"}"#;
+        let reply = daemon.handle(reg);
+        assert!(reply.contains("\"error\":\"input\""), "{reply}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

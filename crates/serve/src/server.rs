@@ -1,0 +1,100 @@
+//! The TCP front of the daemon: a line-oriented accept loop.
+//!
+//! Deliberately thin — every request line is handed to
+//! [`Daemon::handle`], which is where all behavior lives. One thread
+//! per connection (tenant counts are bounded by fleets, not by C10K
+//! ambitions); the listener polls in non-blocking mode so an orderly
+//! shutdown request can actually stop the loop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::daemon::Daemon;
+
+/// A serving daemon bound to a TCP address.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    listener: TcpListener,
+    local: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral test port).
+    pub fn bind(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(Self { daemon, listener, local })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The daemon this server fronts.
+    #[must_use]
+    pub fn daemon(&self) -> &Arc<Daemon> {
+        &self.daemon
+    }
+
+    /// Accept and serve until a `shutdown` request flips the daemon's
+    /// flag. Each connection gets its own thread; a connection error
+    /// (including a client dropping mid-line) kills that connection
+    /// only.
+    pub fn run(&self) -> std::io::Result<()> {
+        let mut workers = Vec::new();
+        while !self.daemon.shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = Arc::clone(&self.daemon);
+                    workers.push(std::thread::spawn(move || serve_connection(&daemon, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection: read lines, answer lines, until EOF or error.
+/// A half-written request (connection dropped mid-line) simply ends the
+/// connection — nothing was accepted, nothing is lost.
+fn serve_connection(daemon: &Daemon, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return, // dropped mid-line or timed out
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = daemon.handle(&line);
+        if writer.write_all(reply.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            return;
+        }
+        if daemon.shutdown_requested() {
+            return;
+        }
+    }
+}

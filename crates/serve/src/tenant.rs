@@ -1,0 +1,256 @@
+//! Per-tenant state: committed history, controller, quarantine.
+//!
+//! A tenant is always in one of two phases. **Live**: the controller is
+//! up and ticks step it. **Quarantined**: a structured reason explains
+//! what went wrong, a deterministic backoff gates when the daemon may
+//! try to bring the tenant back, and — crucially — the *daemon* and
+//! every other tenant keep running. Quarantine is per-tenant fault
+//! isolation, not an error path.
+
+use std::time::{Duration, Instant};
+
+use rsz_core::{Config, Instance, ServerType};
+use rsz_offline::GridMode;
+use rsz_online::{DegradeOptions, GracefulDegrader};
+
+use crate::protocol::ErrorCode;
+use crate::spec::{BoxController, TenantSpec};
+use crate::wal::WalWriter;
+
+/// The coarse-twin factory the degrader rebuilds controllers with.
+pub type ControllerFactory = Box<dyn FnMut(&Instance, GridMode) -> BoxController + Send>;
+
+/// The degrader every tenant wraps its boxed controller in.
+pub type TenantDegrader = GracefulDegrader<BoxController, ControllerFactory>;
+
+/// Why a tenant was quarantined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// A tick failed validation (poisoned load, impossible volume).
+    Input,
+    /// The controller failed — a panic caught at the step boundary or a
+    /// solver error.
+    Solver,
+    /// The tenant's WAL failed an integrity check.
+    WalCorrupt,
+    /// The tenant's snapshot failed its checksum or decoded to garbage
+    /// *and* WAL replay could not take over.
+    SnapshotCorrupt,
+    /// The state directory stopped cooperating (I/O error on append or
+    /// snapshot write).
+    Io,
+}
+
+impl QuarantineReason {
+    /// The wire error code reported for ticks while quarantined for
+    /// this reason.
+    #[must_use]
+    pub fn code(self) -> ErrorCode {
+        match self {
+            QuarantineReason::Input => ErrorCode::Input,
+            QuarantineReason::Solver => ErrorCode::Solver,
+            QuarantineReason::WalCorrupt => ErrorCode::WalCorrupt,
+            QuarantineReason::SnapshotCorrupt => ErrorCode::SnapshotCorrupt,
+            QuarantineReason::Io => ErrorCode::Quarantined,
+        }
+    }
+
+    /// Stable name used in `/metrics` and quarantine details.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuarantineReason::Input => "input",
+            QuarantineReason::Solver => "solver",
+            QuarantineReason::WalCorrupt => "wal_corrupt",
+            QuarantineReason::SnapshotCorrupt => "snapshot_corrupt",
+            QuarantineReason::Io => "io",
+        }
+    }
+}
+
+/// An active quarantine.
+#[derive(Clone, Debug)]
+pub struct Quarantine {
+    /// Structured reason.
+    pub reason: QuarantineReason,
+    /// Human-readable detail (what failed, byte ranges for corruption).
+    pub detail: String,
+    /// How many times recovery has been attempted since entering.
+    pub attempts: u32,
+    /// The earliest instant a retry is allowed.
+    pub until: Instant,
+}
+
+/// Deterministic decorrelated-jitter backoff: exponential in the
+/// attempt count with a jitter factor derived (reproducibly) from the
+/// tenant name and attempt, clamped to `[base, cap]`.
+#[must_use]
+pub fn backoff_delay(tenant: &str, attempts: u32, base: Duration, cap: Duration) -> Duration {
+    // FNV-1a of the tenant name, mixed with the attempt, drives an
+    // xorshift step — same tenant and attempt, same jitter, so chaos
+    // runs reproduce their timelines from the seed alone.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(attempts).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    let jitter = 1.0 + (h % 1000) as f64 / 1000.0; // in [1, 2)
+    let exp = 2u32.saturating_pow(attempts.min(16));
+    let nanos = base.as_nanos() as f64 * f64::from(exp) * jitter;
+    Duration::from_nanos(nanos as u64).clamp(base, cap)
+}
+
+/// Rolling counters for one tenant, exported via `/metrics`.
+#[derive(Clone, Debug, Default)]
+pub struct TenantCounters {
+    /// Fresh decisions made (excludes replays and restored prefix).
+    pub decisions: u64,
+    /// Duplicate-seq ticks answered from committed history.
+    pub replays: u64,
+    /// Ticks rejected by validation.
+    pub rejected: u64,
+    /// Times this tenant entered quarantine.
+    pub quarantines: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+    /// Recoveries that had to ignore a bad snapshot and fall back to
+    /// full WAL replay.
+    pub snapshot_fallbacks: u64,
+    /// Decision latencies (seconds, `LatencyProfile` convention) of
+    /// fresh decisions, most recent last, bounded.
+    pub latencies: Vec<f64>,
+}
+
+impl TenantCounters {
+    /// Record one fresh-decision latency (seconds), keeping a bounded
+    /// window.
+    pub fn push_latency(&mut self, seconds: f64) {
+        const WINDOW: usize = 4096;
+        if self.latencies.len() == WINDOW {
+            self.latencies.remove(0);
+        }
+        self.latencies.push(seconds);
+    }
+}
+
+/// Everything the daemon holds for one tenant.
+pub struct TenantState {
+    /// The registration spec (also the WAL's first record).
+    pub spec: TenantSpec,
+    /// The fleet the spec names, parsed once.
+    pub types: Vec<ServerType>,
+    /// Accepted loads, in seq order — the committed prefix.
+    pub loads: Vec<f64>,
+    /// Committed decisions, one per accepted load.
+    pub decisions: Vec<Config>,
+    /// The live controller; `None` after a panic dropped it (rebuilt
+    /// from WAL + snapshot on the next recovery attempt).
+    pub controller: Option<TenantDegrader>,
+    /// Open WAL appender; `None` while quarantined for I/O.
+    pub wal: Option<WalWriter>,
+    /// Fresh decisions since the last snapshot.
+    pub fresh_since_snapshot: usize,
+    /// Active quarantine, if any.
+    pub quarantine: Option<Quarantine>,
+    /// Rolling counters.
+    pub counters: TenantCounters,
+}
+
+impl TenantState {
+    /// Validate one load against this tenant's fleet: finite,
+    /// non-negative, and within the fleet's maximum capacity. This runs
+    /// *before* the WAL append — the log only ever holds accepted
+    /// ticks.
+    pub fn validate_load(&self, load: f64) -> Result<(), String> {
+        if !load.is_finite() {
+            return Err("load must be a finite number".into());
+        }
+        if load < 0.0 {
+            return Err(format!("load {load} is negative"));
+        }
+        let capacity: f64 = self.types.iter().map(|ty| f64::from(ty.count) * ty.capacity).sum();
+        if load > capacity {
+            return Err(format!("load {load} exceeds fleet capacity {capacity}"));
+        }
+        Ok(())
+    }
+
+    /// The prefix instance for deciding slot `self.loads.len() - 1`:
+    /// the committed loads over this tenant's fleet. Rebuilding per
+    /// tick is the prefix-revelation discipline — the controller can
+    /// only ever see what has actually arrived.
+    pub fn prefix_instance(&self) -> Result<Instance, String> {
+        Instance::builder()
+            .server_types(self.types.iter().cloned())
+            .loads(self.loads.clone())
+            .build()
+            .map_err(|e| format!("prefix instance invalid: {e}"))
+    }
+
+    /// The degrade options this tenant's spec selects, given the daemon
+    /// default deadline.
+    #[must_use]
+    pub fn degrade_options(
+        &self,
+        daemon_deadline: Option<Duration>,
+        coarse_gamma: f64,
+    ) -> DegradeOptions {
+        let deadline = match self.spec.deadline_us {
+            None => daemon_deadline,
+            Some(0) => None,
+            Some(us) => Some(Duration::from_micros(us)),
+        };
+        DegradeOptions { deadline, coarse_gamma }
+    }
+
+    /// Enter quarantine: structured reason, detail, backoff-gated
+    /// retry. Subsequent attempts stretch the gate exponentially.
+    pub fn enter_quarantine(
+        &mut self,
+        reason: QuarantineReason,
+        detail: String,
+        base: Duration,
+        cap: Duration,
+        tenant: &str,
+    ) {
+        let attempts = self.quarantine.as_ref().map_or(0, |q| q.attempts + 1);
+        let delay = backoff_delay(tenant, attempts, base, cap);
+        self.counters.quarantines += 1;
+        self.quarantine =
+            Some(Quarantine { reason, detail, attempts, until: Instant::now() + delay });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_monotone_and_capped() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(10);
+        let a0 = backoff_delay("t1", 0, base, cap);
+        assert_eq!(a0, backoff_delay("t1", 0, base, cap));
+        assert!(a0 >= base && a0 <= cap);
+        // Ample attempts always hit the cap.
+        assert_eq!(backoff_delay("t1", 30, base, cap), cap);
+        // Different tenants jitter differently somewhere in the ladder.
+        let differs =
+            (0..8).any(|k| backoff_delay("t1", k, base, cap) != backoff_delay("t2", k, base, cap));
+        assert!(differs, "jitter should depend on the tenant name");
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let mut c = TenantCounters::default();
+        for i in 0..5000 {
+            c.push_latency(f64::from(i));
+        }
+        assert_eq!(c.latencies.len(), 4096);
+        assert_eq!(c.latencies[0], 5000.0 - 4096.0);
+    }
+}

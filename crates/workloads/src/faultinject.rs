@@ -97,6 +97,80 @@ impl FaultPlan {
     }
 }
 
+/// A seeded fault plan for one daemon-level chaos run — the transport
+/// and storage faults `tests/serve_chaos.rs` throws at `rsz serve`:
+/// connections dropped mid-line, partial JSON writes, WAL
+/// truncation/bit-flips, and a snapshot file that vanished while the
+/// WAL survived. Like [`FaultPlan`], everything derives from the seed.
+#[derive(Clone, Debug)]
+pub struct DaemonFaultPlan {
+    /// The seed the plan was derived from.
+    pub seed: u64,
+    /// Fractional position (strictly inside `(0, 1)`) at which a request
+    /// line is cut — for connection drops mid-line and partial writes.
+    pub split_frac: f64,
+    /// Byte position seed for WAL truncation (reduced modulo the WAL
+    /// length at cut time).
+    pub wal_truncate_at: u64,
+    /// Byte+bit position seed for a WAL bit flip.
+    pub wal_flip_at: u64,
+    /// Whether the snapshot file is deleted while the WAL is kept.
+    pub drop_snapshot: bool,
+}
+
+/// Derive the daemon fault plan for `seed`.
+#[must_use]
+pub fn daemon_plan(seed: u64) -> DaemonFaultPlan {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e57_e5e7_ab1e_0000);
+    DaemonFaultPlan {
+        seed,
+        split_frac: rng.gen_range(0.1..0.9),
+        wal_truncate_at: rng.gen(),
+        wal_flip_at: rng.gen(),
+        drop_snapshot: rng.gen_bool(0.5),
+    }
+}
+
+impl DaemonFaultPlan {
+    /// Cut a request line at the plan's fractional position, strictly
+    /// inside the line (both halves non-empty for lines of ≥ 2 bytes).
+    #[must_use]
+    pub fn split_line<'a>(&self, line: &'a str) -> (&'a str, &'a str) {
+        if line.len() < 2 {
+            return (line, "");
+        }
+        let mut at = ((line.len() as f64 * self.split_frac) as usize).clamp(1, line.len() - 1);
+        while !line.is_char_boundary(at) {
+            at += 1;
+        }
+        line.split_at(at)
+    }
+
+    /// Truncate a WAL image at a plan-determined byte position strictly
+    /// short of its length (a torn tail, as a `kill -9` mid-append
+    /// leaves behind). No-op on an empty WAL.
+    pub fn truncate_wal(&self, wal: &mut Vec<u8>) -> Option<usize> {
+        if wal.is_empty() {
+            return None;
+        }
+        let at = (self.wal_truncate_at % wal.len() as u64) as usize;
+        wal.truncate(at);
+        Some(at)
+    }
+
+    /// Flip one bit of the WAL image at a plan-determined position,
+    /// returning the byte index flipped. No-op on an empty WAL.
+    pub fn flip_wal(&self, wal: &mut [u8]) -> Option<usize> {
+        if wal.is_empty() {
+            return None;
+        }
+        let idx = (self.wal_flip_at % wal.len() as u64) as usize;
+        let bit = (self.wal_flip_at >> 32) % 8;
+        wal[idx] ^= 1 << bit;
+        Some(idx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +234,42 @@ mod tests {
             let p = plan(seed, 32);
             assert!((1..=2).contains(&p.pool_capacity));
         }
+    }
+
+    #[test]
+    fn daemon_plans_are_deterministic_and_split_inside_the_line() {
+        let a = daemon_plan(9);
+        let b = daemon_plan(9);
+        assert_eq!(a.split_frac.to_bits(), b.split_frac.to_bits());
+        assert_eq!(a.wal_truncate_at, b.wal_truncate_at);
+        assert_eq!(a.wal_flip_at, b.wal_flip_at);
+        assert_eq!(a.drop_snapshot, b.drop_snapshot);
+        for seed in 0..20 {
+            let p = daemon_plan(seed);
+            let line = r#"{"op":"tick","tenant":"t","seq":3,"load":1.5}"#;
+            let (head, tail) = p.split_line(line);
+            assert!(!head.is_empty() && !tail.is_empty());
+            assert_eq!(format!("{head}{tail}"), line);
+        }
+    }
+
+    #[test]
+    fn wal_faults_edit_the_image_as_claimed() {
+        let p = daemon_plan(11);
+        let original: Vec<u8> = (0..=255).collect();
+        let mut cut = original.clone();
+        let at = p.truncate_wal(&mut cut).unwrap();
+        assert_eq!(cut.len(), at);
+        assert!(cut.len() < original.len());
+        assert_eq!(&original[..at], &cut[..]);
+
+        let mut flipped = original.clone();
+        let idx = p.flip_wal(&mut flipped).unwrap();
+        let diff: Vec<usize> = (0..original.len()).filter(|&i| original[i] != flipped[i]).collect();
+        assert_eq!(diff, vec![idx]);
+        assert_eq!((original[idx] ^ flipped[idx]).count_ones(), 1);
+
+        assert_eq!(p.truncate_wal(&mut Vec::new()), None);
+        assert_eq!(p.flip_wal(&mut []), None);
     }
 }

@@ -68,6 +68,24 @@ pub fn total_capacity(types: &[ServerType]) -> f64 {
     types.iter().map(ServerType::fleet_capacity).sum()
 }
 
+/// Parse a `NAME:PARAMS` fleet preset spec — the syntax shared by the
+/// `rsz` CLI's `--fleet` flag and the serve daemon's tenant
+/// registration: `homogeneous:M`, `cpu-gpu:C,G`, `old-new:O,N`,
+/// `three-tier:L,C,G`. The spec string doubles as the daemon's pool
+/// sharing key, so equal specs must (and do) produce identical fleets.
+pub fn parse(spec: &str) -> Result<Vec<ServerType>, String> {
+    let (name, params) = spec.split_once(':').ok_or("fleet must be NAME:PARAMS")?;
+    let nums: Result<Vec<u32>, _> = params.split(',').map(str::parse).collect();
+    let nums = nums.map_err(|e| format!("bad fleet parameters: {e}"))?;
+    match (name, nums.as_slice()) {
+        ("homogeneous", [m]) => Ok(homogeneous(*m, 3.0, 1.0, CostModel::linear(0.5, 1.0))),
+        ("cpu-gpu", [c, g]) => Ok(cpu_gpu(*c, *g)),
+        ("old-new", [o, n]) => Ok(old_new(*o, *n)),
+        ("three-tier", [l, c, g]) => Ok(three_tier(*l, *c, *g)),
+        _ => Err(format!("unknown fleet `{spec}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +118,16 @@ mod tests {
     fn gpu_idle_exceeds_cpu_idle() {
         let f = cpu_gpu(1, 1);
         assert!(f[1].idle_cost(0) > f[0].idle_cost(0));
+    }
+
+    #[test]
+    fn parse_round_trips_the_presets() {
+        assert_eq!(parse("homogeneous:8").unwrap().len(), 1);
+        assert_eq!(parse("cpu-gpu:8,2").unwrap().len(), 2);
+        assert_eq!(parse("old-new:5,5").unwrap().len(), 2);
+        assert_eq!(parse("three-tier:4,4,2").unwrap().len(), 3);
+        assert!(parse("cpu-gpu").is_err());
+        assert!(parse("cpu-gpu:1").is_err());
+        assert!(parse("warp-core:9").is_err());
     }
 }

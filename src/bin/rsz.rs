@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("solve") => solve(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("generate") => generate(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
         Some("--help") | Some("-h") | Some("help") | None => {
             eprintln!("{USAGE}");
             ExitCode::SUCCESS
@@ -50,6 +51,10 @@ const USAGE: &str = "usage:
   rsz simulate --trace FILE --fleet PRESET --algo {a|b|c[:EPS]|lcp|rhc[:W]}
                [--engine] [--cache] [--pipeline] [--refine] [--repair POLICY]
                [--resume FILE] [--snapshot-every K] [--out FILE]
+               [--remote ADDR [--tenant NAME]]
+  rsz serve    [--addr HOST:PORT] [--state-dir DIR] [--deadline-us N]
+               [--queue-bound N] [--snapshot-every K] [--pool-capacity N]
+               [--coarse-gamma G] [--fsync]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
@@ -81,6 +86,20 @@ on repeating traces); costs agree with the legacy path to a relative
 1e-9, and epsilon-tolerant tie-breaks keep the recovered schedule
 matching the legacy path's (gated on every bench workload). --threads N
 pins the solver's worker count (default: all cores for large grids).
+
+rsz serve hosts many independent tenants (fleet + controller + its own
+telemetry stream) behind a line-delimited JSON protocol with a
+write-ahead log and periodic snapshots per tenant: kill -9 the daemon
+at any point and a restart over the same --state-dir resumes every
+tenant bit-identically. A failing tenant (poisoned load, solver panic,
+corrupt storage) is quarantined with a structured reason and retried
+with backoff; the daemon and all other tenants keep serving.
+--deadline-us arms the per-decision degradation ladder
+(exact → coarse grid → hold) for tenants that do not set their own.
+GET /health and GET /metrics (or the JSON ops) export liveness and
+counters. simulate --remote ADDR streams the trace to such a daemon
+instead of deciding locally ( --tenant names the stream; re-running
+resumes idempotently) and reports the same cost/latency summary.
 
 --refine runs the coarse-to-fine corridor solver: a cheap gamma-grid
 coarse solve localizes the optimum, the DP then prices and sweeps only
@@ -159,17 +178,11 @@ fn parse_repair(args: &[String]) -> Result<io::RepairPolicy, String> {
     }
 }
 
+/// Fleet preset parsing lives in `rsz_workloads::fleet::parse` so the
+/// CLI and the serve daemon accept the same spec strings (the spec
+/// doubles as the daemon's pool-sharing key).
 fn parse_fleet(spec: &str) -> Result<Vec<ServerType>, String> {
-    let (name, params) = spec.split_once(':').ok_or("fleet must be NAME:PARAMS")?;
-    let nums: Result<Vec<u32>, _> = params.split(',').map(str::parse).collect();
-    let nums = nums.map_err(|e| format!("bad fleet parameters: {e}"))?;
-    match (name, nums.as_slice()) {
-        ("homogeneous", [m]) => Ok(fleet::homogeneous(*m, 3.0, 1.0, CostModel::linear(0.5, 1.0))),
-        ("cpu-gpu", [c, g]) => Ok(fleet::cpu_gpu(*c, *g)),
-        ("old-new", [o, n]) => Ok(fleet::old_new(*o, *n)),
-        ("three-tier", [l, c, g]) => Ok(fleet::three_tier(*l, *c, *g)),
-        _ => Err(format!("unknown fleet `{spec}`")),
-    }
+    fleet::parse(spec)
 }
 
 fn solve(args: &[String]) -> ExitCode {
@@ -402,10 +415,21 @@ where
     if let Some(e) = write_err {
         return Err(fail(&format!("cannot write snapshot {}: {e}", path.display())));
     }
-    result.map_err(|e| fail_solve(&format!("cannot resume from {}: {e}", path.display())))
+    result.map_err(|e| {
+        // On a checksum failure, name the exact byte range that failed
+        // the FNV-1a check — which half of the envelope to go diff.
+        let detail = match &resume {
+            Some(bytes) => heterogeneous_rightsizing::serve::describe_snapshot_error(bytes, &e),
+            None => e.to_string(),
+        };
+        fail_solve(&format!("cannot resume from {}: {detail}", path.display()))
+    })
 }
 
 fn simulate(args: &[String]) -> ExitCode {
+    if let Some(addr) = flag(args, "--remote") {
+        return simulate_remote(&addr, args);
+    }
     let instance = match load_instance(args) {
         Ok(i) => i,
         Err(e) => return fail(&e),
@@ -570,6 +594,141 @@ fn report_simulation(
     }
     if let Some(out) = flag(args, "--out") {
         if let Err(e) = io::write_schedule(Path::new(&out), &run.schedule) {
+            return fail(&format!("cannot write schedule: {e}"));
+        }
+        println!("schedule written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `rsz serve`: bind the daemon and run the accept loop until a
+/// `shutdown` request arrives.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    use heterogeneous_rightsizing::serve::{Daemon, ServeOptions, Server};
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let mut options = ServeOptions {
+        fsync: has_flag(args, "--fsync"),
+        allow_fault_hooks: has_flag(args, "--allow-fault-hooks"),
+        ..ServeOptions::default()
+    };
+    if let Some(dir) = flag(args, "--state-dir") {
+        options.state_dir = std::path::PathBuf::from(dir);
+    }
+    match flag(args, "--deadline-us").as_deref().map(str::parse::<u64>) {
+        None => {}
+        Some(Ok(0)) => options.deadline = None,
+        Some(Ok(us)) => options.deadline = Some(std::time::Duration::from_micros(us)),
+        Some(Err(_)) => return fail("--deadline-us N needs a non-negative integer"),
+    }
+    match flag(args, "--queue-bound").as_deref().map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(n)) if n >= 1 => options.queue_bound = n,
+        Some(_) => return fail("--queue-bound N needs a positive integer"),
+    }
+    match flag(args, "--snapshot-every").as_deref().map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(k)) => options.snapshot_every = k,
+        Some(Err(_)) => return fail("--snapshot-every K needs a non-negative integer"),
+    }
+    match flag(args, "--pool-capacity").as_deref().map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(n)) if n >= 1 => options.pool_capacity = n,
+        Some(_) => return fail("--pool-capacity N needs a positive integer"),
+    }
+    match flag(args, "--coarse-gamma").as_deref().map(str::parse::<f64>) {
+        None => {}
+        Some(Ok(g)) if g > 1.0 => options.coarse_gamma = g,
+        Some(_) => return fail("--coarse-gamma G needs G > 1"),
+    }
+    let state_dir = options.state_dir.clone();
+    let daemon = match Daemon::new(options) {
+        Ok(d) => std::sync::Arc::new(d),
+        Err(e) => return fail(&format!("cannot open state dir {}: {e}", state_dir.display())),
+    };
+    let recovered = daemon.counters.recovered.load(std::sync::atomic::Ordering::Relaxed);
+    let server = match Server::bind(daemon, &addr) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+    };
+    eprintln!(
+        "rsz serve listening on {} (state dir {}, {recovered} tenant(s) recovered)",
+        server.local_addr(),
+        state_dir.display(),
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("accept loop failed: {e}")),
+    }
+}
+
+/// `rsz simulate --remote ADDR`: stream the trace to a serve daemon
+/// instead of deciding locally. Sequence numbers make the stream
+/// idempotent — re-running after a partial run replays the committed
+/// prefix bit-identically and continues from the first new slot.
+fn simulate_remote(addr: &str, args: &[String]) -> ExitCode {
+    use heterogeneous_rightsizing::serve::{Client, ClientOptions, GridSpec, TenantSpec};
+    let instance = match load_instance(args) {
+        Ok(i) => i,
+        Err(e) => return fail(&e),
+    };
+    let fleet_spec = flag(args, "--fleet").unwrap_or_else(|| "homogeneous:10".into());
+    let algo = flag(args, "--algo").unwrap_or_else(|| "b".into());
+    let tenant = flag(args, "--tenant").unwrap_or_else(|| "rsz-sim".into());
+    let deadline_us = match flag(args, "--deadline-us").as_deref().map(str::parse::<u64>) {
+        None => None,
+        Some(Ok(us)) => Some(us),
+        Some(Err(_)) => return fail("--deadline-us N needs a non-negative integer"),
+    };
+    let spec = TenantSpec {
+        fleet: fleet_spec,
+        algo,
+        engine: has_flag(args, "--engine"),
+        cache: has_flag(args, "--cache"),
+        grid: GridSpec::Full,
+        deadline_us,
+        snapshot_every: 0,
+    };
+    let mut client = Client::new(addr, ClientOptions::default());
+    let resumed = match client.register(&tenant, &spec) {
+        Ok(n) => n,
+        Err(e) => return fail_solve(&format!("cannot register with {addr}: {e}")),
+    };
+    if resumed > 0 {
+        eprintln!("tenant `{tenant}` resumes at seq {resumed} ({resumed} committed ticks)");
+    }
+    let mut schedule = Schedule::empty();
+    let mut replayed = 0u64;
+    let start = std::time::Instant::now();
+    for (seq, &load) in instance.loads().iter().enumerate() {
+        match client.tick(&tenant, seq as u64, load) {
+            Ok(decision) => {
+                if decision.replayed {
+                    replayed += 1;
+                }
+                schedule.push(decision.config);
+            }
+            Err(e) => return fail_solve(&format!("tick {seq} failed: {e}")),
+        }
+    }
+    let elapsed = start.elapsed();
+    if let Err(e) = schedule.check_feasible(&instance) {
+        return fail(&format!("daemon returned an infeasible schedule: {e}"));
+    }
+    let oracle = Dispatcher::new();
+    let bd = heterogeneous_rightsizing::core::objective::evaluate(&instance, &schedule, &oracle);
+    println!("algorithm:       remote {} @ {addr} (tenant {tenant})", spec.algo);
+    println!("slots:           {}", instance.horizon());
+    println!("operating cost:  {:.3}", bd.operating);
+    println!("switching cost:  {:.3}", bd.switching);
+    println!("total cost:      {:.3}", bd.total());
+    println!(
+        "remote ticks:    {} total, {replayed} replayed, {} retries, {:.1} ms wall",
+        instance.horizon(),
+        client.retries(),
+        elapsed.as_secs_f64() * 1e3,
+    );
+    if let Some(out) = flag(args, "--out") {
+        if let Err(e) = io::write_schedule(Path::new(&out), &schedule) {
             return fail(&format!("cannot write schedule: {e}"));
         }
         println!("schedule written to {out}");

@@ -16,6 +16,7 @@
 //! | [`offline`] | optimal DP / graph algorithm, `(1+ε)`-approximation (Sec. 4) |
 //! | [`online`] | Algorithms A, B, C with their proven ratios (Secs. 2–3), baselines |
 //! | [`workloads`] | synthetic traces, fleet presets, scenarios |
+//! | [`serve`] | crash-safe multi-tenant serving daemon (`rsz serve`) |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use rsz_core as core;
 pub use rsz_dispatch as dispatch;
 pub use rsz_offline as offline;
 pub use rsz_online as online;
+pub use rsz_serve as serve;
 pub use rsz_workloads as workloads;
 
 /// One-stop imports for applications.

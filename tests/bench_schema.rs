@@ -77,7 +77,7 @@ fn all_bench_trajectories_carry_the_required_keys() {
         checked += 1;
     }
     assert!(
-        checked >= 4,
-        "expected at least BENCH_dp/BENCH_online/BENCH_refine/BENCH_robust at the root, found {checked}"
+        checked >= 5,
+        "expected at least BENCH_dp/BENCH_online/BENCH_refine/BENCH_robust/BENCH_serve at the root, found {checked}"
     );
 }
