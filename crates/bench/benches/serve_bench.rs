@@ -15,17 +15,26 @@
 //!   the same state dir: recovery-replay wall-clock and per-tenant
 //!   cost. Gated on all N tenants recovering and a sampled tenant
 //!   replaying bit-identically.
+//! * **failover** — a synced replica loses its primary: wall-clock
+//!   from the death to a promoted replica that has re-served the whole
+//!   stream bit-identically (lease expiry + promotion + full
+//!   retransmit), p50/p99 over repeated trials. Gated on zero
+//!   accepted-tick loss in every trial.
+//! * **divergence** — flip one committed bit in each of M replica
+//!   tenants and sync: every flip must trip a fingerprint cross-check.
+//!   Reports detection counters; gated on M-for-M detection.
 //!
 //! Results land in `results/serve.json` and, as the trajectory record
 //! the CI uploads, `BENCH_serve.json`.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rsz_online::LatencyProfile;
 use rsz_serve::json::{self, Json};
-use rsz_serve::{Daemon, ServeOptions};
+use rsz_serve::{Daemon, ReplicaOptions, Replicator, Role, ServeOptions};
 
 /// Pool keys the tenant population collides on: four fleets, one grid.
 const FLEETS: [&str; 4] = ["cpu-gpu:2,1", "cpu-gpu:4,2", "old-new:2,2", "homogeneous:4"];
@@ -165,6 +174,133 @@ fn main() {
     });
     drop(daemon);
     let _ = std::fs::remove_dir_all(&dir);
+
+    // --- failover: primary death → promoted, caught-up replica ---
+    let trials = if quick { 10 } else { 100 };
+    let fo_horizon = 6;
+    let pdir = std::env::temp_dir().join(format!("rsz-serve-bench-fo-p-{}", std::process::id()));
+    let rdir = std::env::temp_dir().join(format!("rsz-serve-bench-fo-r-{}", std::process::id()));
+    let pair_options = |d: &PathBuf| ServeOptions {
+        state_dir: d.clone(),
+        snapshot_every: 4,
+        fingerprint_every: 2,
+        ..ServeOptions::default()
+    };
+    let mut failover_samples = Vec::with_capacity(trials);
+    for trial in 0..trials {
+        let _ = std::fs::remove_dir_all(&pdir);
+        let _ = std::fs::remove_dir_all(&rdir);
+        let primary = Arc::new(Daemon::new(pair_options(&pdir)).expect("primary dir"));
+        let replica = Arc::new(Daemon::new(pair_options(&rdir)).expect("replica dir"));
+        replica.set_role(Role::Replica);
+        let mut replicator = Replicator::new(
+            Arc::clone(&replica),
+            ReplicaOptions { replica_id: "bench".into(), lease_failures: 3 },
+        );
+        let reply = primary.handle(
+            r#"{"op":"register","tenant":"t","fleet":"cpu-gpu:2,1","algo":"b","engine":true}"#,
+        );
+        assert!(reply.contains("\"ok\":true"), "trial {trial}: {reply}");
+        let trace = loads(trial, fo_horizon);
+        let expect: Vec<Vec<u64>> = (0..fo_horizon)
+            .map(|seq| {
+                let d = decided(&primary.handle(&tick_line("t", seq, trace[seq])));
+                replicator
+                    .sync_once(&mut |line| Ok::<String, String>(primary.handle(line)))
+                    .expect("clean sync");
+                d
+            })
+            .collect();
+        drop(primary); // kill -9
+
+        let clock = Instant::now();
+        while !replicator.maybe_promote() {
+            let _ = replicator.sync_once(&mut |_| Err::<String, String>("dead".into()));
+        }
+        for (seq, want) in expect.iter().enumerate() {
+            let got = decided(&replica.handle(&tick_line("t", seq, trace[seq])));
+            assert_eq!(&got, want, "trial {trial}: failover diverged at seq {seq}");
+        }
+        failover_samples.push(clock.elapsed().as_secs_f64());
+        let have = replica.replication_have();
+        assert_eq!(
+            have.first().map(|(_, n)| *n),
+            Some(fo_horizon as u64),
+            "trial {trial}: accepted ticks lost across failover"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+    let failovers = LatencyProfile::new(failover_samples);
+    rows.push(Row {
+        name: "failover".into(),
+        fields: vec![
+            ("trials".into(), trials.to_string()),
+            ("failover_p50_us".into(), num(failovers.quantile(0.5) * 1e6)),
+            ("failover_p99_us".into(), num(failovers.quantile(0.99) * 1e6)),
+        ],
+    });
+
+    // --- divergence: M flipped replica tenants, M detections ---
+    let flipped = if quick { 20 } else { 100 };
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
+    let primary = Arc::new(Daemon::new(pair_options(&pdir)).expect("primary dir"));
+    let replica = Arc::new(
+        Daemon::new(ServeOptions { allow_fault_hooks: true, ..pair_options(&rdir) })
+            .expect("replica dir"),
+    );
+    replica.set_role(Role::Replica);
+    let mut replicator = Replicator::new(Arc::clone(&replica), ReplicaOptions::default());
+    for i in 0..flipped {
+        let reply = primary.handle(&format!(
+            r#"{{"op":"register","tenant":"d{i}","fleet":"cpu-gpu:2,1","algo":"b","engine":true}}"#
+        ));
+        assert!(reply.contains("\"ok\":true"), "register d{i}: {reply}");
+    }
+    for seq in 0..4 {
+        for i in 0..flipped {
+            primary.handle(&tick_line(&format!("d{i}"), seq, loads(i, 6)[seq]));
+        }
+    }
+    replicator
+        .sync_once(&mut |line| Ok::<String, String>(primary.handle(line)))
+        .expect("pre-flip sync");
+    for i in 0..flipped {
+        assert!(replica.inject_divergence(&format!("d{i}")), "fault hook d{i}");
+    }
+    for seq in 4..6 {
+        for i in 0..flipped {
+            primary.handle(&tick_line(&format!("d{i}"), seq, loads(i, 6)[seq]));
+        }
+    }
+    let clock = Instant::now();
+    let report = replicator
+        .sync_once(&mut |line| Ok::<String, String>(primary.handle(line)))
+        .expect("post-flip sync applies, with per-tenant errors");
+    let detect_secs = clock.elapsed().as_secs_f64();
+    let detected =
+        replica.counters.fingerprint_mismatches.load(std::sync::atomic::Ordering::Relaxed);
+    let fp_checks = replica.counters.fingerprint_checks.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        detected as usize,
+        flipped,
+        "every flipped tenant must trip a fingerprint check ({:?})",
+        report.errors.len()
+    );
+    rows.push(Row {
+        name: "divergence".into(),
+        fields: vec![
+            ("divergence_tenants".into(), flipped.to_string()),
+            ("divergence_detected".into(), detected.to_string()),
+            ("fingerprint_checks".into(), fp_checks.to_string()),
+            ("detect_ms".into(), num(detect_secs * 1e3)),
+        ],
+    });
+    drop(replica);
+    drop(primary);
+    let _ = std::fs::remove_dir_all(&pdir);
+    let _ = std::fs::remove_dir_all(&rdir);
 
     // Console summary.
     for r in &rows {

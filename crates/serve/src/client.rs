@@ -86,18 +86,45 @@ pub struct Decision {
 
 /// A connected protocol client. Reconnects transparently between
 /// attempts; state lives on the daemon, not here.
+///
+/// Knows the whole replica set: a transport failure or a `not_primary`
+/// reply rotates to the next peer and retries there, and idempotent
+/// sequence numbers make the retransmit safe — the committed prefix is
+/// never double-applied, so a failover is invisible to the caller
+/// beyond latency.
 pub struct Client {
-    addr: String,
+    peers: Vec<String>,
+    current: usize,
     options: ClientOptions,
     stream: Option<BufReader<TcpStream>>,
     retries: u64,
+    rotations: u64,
 }
 
 impl Client {
     /// A client for the daemon at `addr` (`host:port`).
     #[must_use]
     pub fn new(addr: &str, options: ClientOptions) -> Self {
-        Self { addr: addr.to_owned(), options, stream: None, retries: 0 }
+        Self::with_peers(&[addr.to_owned()], options)
+    }
+
+    /// A client over a replica set. The first peer is tried first;
+    /// failures and `not_primary` replies rotate through the rest.
+    #[must_use]
+    pub fn with_peers(peers: &[String], options: ClientOptions) -> Self {
+        let mut peers: Vec<String> = peers.iter().filter(|p| !p.is_empty()).cloned().collect();
+        if peers.is_empty() {
+            // Degenerate but non-panicking: connect() will fail with
+            // NotFound and surface through the normal error path.
+            peers.push(String::new());
+        }
+        Self { peers, current: 0, options, stream: None, retries: 0, rotations: 0 }
+    }
+
+    /// The peer currently being targeted.
+    #[must_use]
+    pub fn current_peer(&self) -> &str {
+        &self.peers[self.current]
     }
 
     /// Total retries performed so far (transport + overload).
@@ -106,12 +133,29 @@ impl Client {
         self.retries
     }
 
+    /// Peer rotations performed so far (failovers, as the client saw
+    /// them).
+    #[must_use]
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Drop the connection and advance to the next peer (no-op with a
+    /// single peer beyond the reconnect).
+    fn rotate(&mut self) {
+        self.stream = None;
+        if self.peers.len() > 1 {
+            self.current = (self.current + 1) % self.peers.len();
+            self.rotations += 1;
+        }
+    }
+
     fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
         if self.stream.is_none() {
-            let addr =
-                self.addr.to_socket_addrs()?.next().ok_or_else(|| {
-                    std::io::Error::new(std::io::ErrorKind::NotFound, "no address")
-                })?;
+            let addr = self.peers[self.current]
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
             let stream = TcpStream::connect_timeout(&addr, self.options.timeout)?;
             stream.set_read_timeout(Some(self.options.timeout))?;
             stream.set_write_timeout(Some(self.options.timeout))?;
@@ -143,15 +187,18 @@ impl Client {
     }
 
     /// Send one request line, retrying transport failures and
-    /// `overloaded` replies with decorrelated-jitter backoff. Safe for
-    /// ticks because sequence numbers make them idempotent.
+    /// `overloaded` replies with decorrelated-jitter backoff, and
+    /// failing over to the next peer on dead connections and
+    /// `not_primary` replies. Safe for ticks because sequence numbers
+    /// make them idempotent.
     pub fn round_trip(&mut self, line: &str) -> Result<Json, ClientError> {
         let mut last_io: Option<std::io::Error> = None;
+        let mut last_daemon: Option<ClientError> = None;
         for attempt in 0..self.options.max_attempts {
             if attempt > 0 {
                 self.retries += 1;
                 let delay = backoff_delay(
-                    &self.addr,
+                    self.current_peer(),
                     attempt - 1,
                     self.options.backoff_base,
                     self.options.backoff_cap,
@@ -162,6 +209,7 @@ impl Client {
                 Ok(r) => r,
                 Err(e) => {
                     last_io = Some(e);
+                    self.rotate(); // the peer may be dead: try the next
                     continue;
                 }
             };
@@ -172,14 +220,28 @@ impl Client {
             }
             let code = v.get("error").and_then(Json::as_str).and_then(ErrorCode::parse);
             let detail = v.get("detail").and_then(Json::as_str).unwrap_or("(no detail)").to_owned();
-            if code == Some(ErrorCode::Overloaded) {
-                continue; // shed: back off and retry
+            match code {
+                Some(ErrorCode::Overloaded) => {
+                    // Shed or shutting down: with peers available, a
+                    // sibling may have capacity right now.
+                    if self.peers.len() > 1 {
+                        self.rotate();
+                    }
+                    last_daemon = Some(ClientError::Daemon { code, detail });
+                    continue;
+                }
+                Some(ErrorCode::NotPrimary) => {
+                    last_daemon = Some(ClientError::Daemon { code, detail });
+                    self.rotate();
+                    continue;
+                }
+                _ => return Err(ClientError::Daemon { code, detail }),
             }
-            return Err(ClientError::Daemon { code, detail });
         }
-        Err(match last_io {
-            Some(e) => ClientError::Io(e),
-            None => ClientError::Daemon {
+        Err(match (last_daemon, last_io) {
+            (Some(e), _) => e,
+            (None, Some(e)) => ClientError::Io(e),
+            (None, None) => ClientError::Daemon {
                 code: Some(ErrorCode::Overloaded),
                 detail: "still overloaded after retries".into(),
             },
@@ -262,7 +324,7 @@ impl Client {
         let mut total = self.options.timeout * self.options.max_attempts;
         for attempt in 0..self.options.max_attempts.saturating_sub(1) {
             total += backoff_delay(
-                &self.addr,
+                self.current_peer(),
                 attempt,
                 self.options.backoff_base,
                 self.options.backoff_cap,

@@ -37,9 +37,16 @@ use rsz_online::{restore_run, save_run, DegradeStats, GracefulDegrader, LatencyP
 
 use crate::json::{self, Json};
 use crate::protocol::{self, decision_line, error_line, parse_request, wire, ErrorCode, Request};
+use crate::replication::{from_hex, state_fingerprint, to_hex, ApplyReport, Role};
 use crate::spec::{build_controller, TenantSpec};
-use crate::tenant::{QuarantineReason, TenantCounters, TenantDegrader, TenantState};
+use crate::tenant::{Fingerprint, QuarantineReason, TenantCounters, TenantDegrader, TenantState};
 use crate::wal::{self, WalRecord, WalScan, WalTail, WalWriter};
+
+/// Snapshot envelope layout version. Version 2 added the bit-exact
+/// accepted-load prefix, which is what makes WAL compaction safe: a
+/// tenant whose early segments were deleted recovers its loads from
+/// the snapshot and only the suffix from the surviving log.
+const SNAP_FORMAT: u8 = 2;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -69,6 +76,13 @@ pub struct ServeOptions {
     pub fsync: bool,
     /// Allow the `panic:T` fault-hook algorithm (chaos tests only).
     pub allow_fault_hooks: bool,
+    /// Seal the active WAL segment once it crosses this many bytes and
+    /// start a fresh one (`0` disables rotation, and with it
+    /// compaction).
+    pub segment_bytes: usize,
+    /// Record a state fingerprint every `K` accepted ticks (`0`
+    /// disables fingerprints, and with them divergence detection).
+    pub fingerprint_every: usize,
 }
 
 impl Default for ServeOptions {
@@ -84,6 +98,8 @@ impl Default for ServeOptions {
             backoff_cap: Duration::from_secs(10),
             fsync: false,
             allow_fault_hooks: false,
+            segment_bytes: 1 << 20,
+            fingerprint_every: 8,
         }
     }
 }
@@ -115,6 +131,25 @@ pub struct DaemonCounters {
     pub snapshots: AtomicU64,
     /// Tenants recovered from disk at startup.
     pub recovered: AtomicU64,
+    /// WAL segments sealed (rotation).
+    pub segments_sealed: AtomicU64,
+    /// Sealed WAL segments deleted because a durable snapshot covers
+    /// them (compaction).
+    pub segments_compacted: AtomicU64,
+    /// `repl.sync` requests served (primary side).
+    pub repl_syncs: AtomicU64,
+    /// Replicated ticks applied through the step path (replica side).
+    pub repl_applied: AtomicU64,
+    /// Replication frame batches rejected by their FNV-1a framing
+    /// (transit corruption never reaches the step path).
+    pub repl_frame_rejects: AtomicU64,
+    /// State fingerprints checked against the primary's.
+    pub fingerprint_checks: AtomicU64,
+    /// Fingerprint mismatches (each quarantines its tenant as
+    /// diverged).
+    pub fingerprint_mismatches: AtomicU64,
+    /// Promotions this process performed (replica → primary).
+    pub failovers: AtomicU64,
 }
 
 /// One tenant's concurrency gate plus its state.
@@ -148,6 +183,10 @@ pub struct Daemon {
     /// Counters, public for the bench harness.
     pub counters: DaemonCounters,
     shutdown: AtomicBool,
+    role: std::sync::atomic::AtomicU8,
+    /// Accepted-tick lag behind the primary after the latest applied
+    /// sync (a gauge; meaningful on replicas).
+    repl_lag: AtomicU64,
 }
 
 impl Daemon {
@@ -163,6 +202,8 @@ impl Daemon {
             pools: Mutex::new(HashMap::new()),
             counters: DaemonCounters::default(),
             shutdown: AtomicBool::new(false),
+            role: std::sync::atomic::AtomicU8::new(Role::Primary.to_u8()),
+            repl_lag: AtomicU64::new(0),
         };
         daemon.recover_all();
         Ok(daemon)
@@ -180,6 +221,18 @@ impl Daemon {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// This daemon's replication role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::SeqCst))
+    }
+
+    /// Set the replication role (a fresh daemon starts as `Primary`;
+    /// `rsz serve --replica-of` flips it to `Replica` before serving).
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role.to_u8(), Ordering::SeqCst);
+    }
+
     /// Handle one request line, returning one reply line. Never panics
     /// on any input; never returns more or less than one line.
     pub fn handle(&self, line: &str) -> String {
@@ -192,21 +245,67 @@ impl Daemon {
             }
         };
         match request {
+            Request::Register { .. } | Request::Tick { .. } if self.shutdown_requested() => {
+                // Admission stops the moment a graceful shutdown
+                // begins: clients back off and fail over to a peer.
+                error_line(ErrorCode::Overloaded, "daemon is shutting down")
+            }
+            Request::Register { .. } | Request::Tick { .. } if self.role() != Role::Primary => {
+                error_line(
+                    ErrorCode::NotPrimary,
+                    &format!(
+                        "this daemon is a {}; send writes to the primary",
+                        self.role().as_str()
+                    ),
+                )
+            }
             Request::Register { tenant, spec } => self.handle_register(&tenant, spec),
             Request::Tick { tenant, seq, load } => self.handle_tick(&tenant, seq, load),
             Request::Health => self.health_line(),
+            Request::Livez => self.livez_line(),
+            Request::Readyz => self.readyz_line(),
             Request::Metrics => self.metrics_line(),
             Request::Shutdown => {
-                self.snapshot_all();
-                self.shutdown.store(true, Ordering::SeqCst);
+                self.graceful_shutdown();
                 json::obj(vec![("ok", Json::Bool(true)), ("stopping", Json::Bool(true))]).to_line()
+            }
+            Request::ReplSync { replica, have } => {
+                if self.role() == Role::Primary {
+                    self.sync_reply(&replica, &have)
+                } else {
+                    error_line(
+                        ErrorCode::NotPrimary,
+                        &format!("cannot serve repl.sync as a {}", self.role().as_str()),
+                    )
+                }
             }
         }
     }
 
     fn handle_register(&self, name: &str, spec: TenantSpec) -> String {
+        match self.do_register(name, spec) {
+            Ok((resumed, quarantined)) => json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("tenant", json::s(name)),
+                ("resumed_ticks", json::n(resumed as f64)),
+                ("quarantined", Json::Bool(quarantined)),
+            ])
+            .to_line(),
+            Err((code, detail)) => error_line(code, &detail),
+        }
+    }
+
+    /// Register (or idempotently re-attach) a tenant. Shared between
+    /// the protocol path and replication apply (a replica registers
+    /// tenants from the primary's shipped `Register` frames). Returns
+    /// `(resumed ticks, quarantined)`.
+    fn do_register(
+        &self,
+        name: &str,
+        spec: TenantSpec,
+    ) -> Result<(u64, bool), (ErrorCode, String)> {
         if let Err(detail) = spec.validate(self.options.allow_fault_hooks) {
-            return error_line(ErrorCode::Input, &detail);
+            return Err((ErrorCode::Input, detail));
         }
         let slot = {
             let tenants = lock_clean(&self.tenants);
@@ -217,32 +316,21 @@ impl Daemon {
             // for a live name is a caller bug.
             let st = lock_clean(&slot.state);
             if st.spec != spec {
-                return error_line(
+                return Err((
                     ErrorCode::Input,
-                    "tenant already registered with a different spec",
-                );
+                    "tenant already registered with a different spec".into(),
+                ));
             }
-            return json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("tenant", json::s(name)),
-                ("resumed_ticks", json::n(st.loads.len() as f64)),
-                ("quarantined", Json::Bool(st.quarantine.is_some())),
-            ])
-            .to_line();
+            return Ok((st.loads.len() as u64, st.quarantine.is_some()));
         }
         // Fresh tenant: open its WAL and log the registration first.
-        let types = match spec.server_types() {
-            Ok(t) => t,
-            Err(detail) => return error_line(ErrorCode::Input, &detail),
-        };
+        let types = spec.server_types().map_err(|detail| (ErrorCode::Input, detail))?;
         let path = wal::wal_path(&self.options.state_dir, name);
-        let mut writer = match WalWriter::open(&path, self.options.fsync) {
-            Ok(w) => w,
-            Err(e) => return error_line(ErrorCode::Quarantined, &format!("WAL open failed: {e}")),
-        };
-        if let Err(e) = writer.append(&WalRecord::Register(spec.clone())) {
-            return error_line(ErrorCode::Quarantined, &format!("WAL append failed: {e}"));
-        }
+        let mut writer = WalWriter::open(&path, self.options.fsync)
+            .map_err(|e| (ErrorCode::Quarantined, format!("WAL open failed: {e}")))?;
+        writer
+            .append(&WalRecord::Register(spec.clone()))
+            .map_err(|e| (ErrorCode::Quarantined, format!("WAL append failed: {e}")))?;
         let state = TenantState {
             spec,
             types,
@@ -253,18 +341,16 @@ impl Daemon {
             fresh_since_snapshot: 0,
             quarantine: None,
             counters: TenantCounters::default(),
+            fingerprints: Vec::new(),
+            last_sealed_through: 0,
+            last_snapshot_k: 0,
+            fp_checked: 0,
         };
         lock_clean(&self.tenants).insert(
             name.to_owned(),
             Arc::new(TenantSlot { waiting: AtomicUsize::new(0), state: Mutex::new(state) }),
         );
-        json::obj(vec![
-            ("ok", Json::Bool(true)),
-            ("tenant", json::s(name)),
-            ("resumed_ticks", json::n(0.0)),
-            ("quarantined", Json::Bool(false)),
-        ])
-        .to_line()
+        Ok((0, false))
     }
 
     fn handle_tick(&self, name: &str, seq: u64, load: f64) -> String {
@@ -289,29 +375,48 @@ impl Daemon {
         }
         let _guard = QueueGuard(&slot.waiting);
         let mut st = lock_clean(&slot.state);
+        match self.tick_core(&mut st, name, seq, load) {
+            Ok((config, rung, replayed)) => decision_line(seq, &config, rung, replayed),
+            Err((code, detail)) => error_line(code, &detail),
+        }
+    }
 
+    /// The full accepted-tick path for one tenant, shared between the
+    /// protocol handler and replication apply (a replica applies the
+    /// primary's shipped ticks through exactly this path — that is what
+    /// makes failover bit-identical): quarantine gate → idempotent
+    /// sequencing → validation → WAL append (+rotation) → step →
+    /// snapshot and fingerprint cadences. The returned `bool` is true
+    /// when the decision was replayed from committed history.
+    fn tick_core(
+        &self,
+        st: &mut TenantState,
+        name: &str,
+        seq: u64,
+        load: f64,
+    ) -> Result<(Config, rsz_online::Rung, bool), (ErrorCode, String)> {
         // Quarantine gate: bounce until the backoff expires, then try
         // to revive; a failed revival re-enters with a longer gate.
         if let Some(q) = st.quarantine.clone() {
             if Instant::now() < q.until {
-                return error_line(
+                return Err((
                     q.reason.code(),
-                    &format!(
+                    format!(
                         "tenant quarantined ({}): {}; retry in {:?}",
                         q.reason.as_str(),
                         q.detail,
                         q.until.saturating_duration_since(Instant::now())
                     ),
-                );
+                ));
             }
-            match self.revive(&mut st, name) {
+            match self.revive(st, name, &[]) {
                 Ok(()) => {
                     st.quarantine = None;
                     self.counters.revives.fetch_add(1, Ordering::Relaxed);
                 }
                 Err((reason, detail)) => {
-                    self.quarantine(&mut st, name, reason, detail.clone());
-                    return error_line(reason.code(), &detail);
+                    self.quarantine(st, name, reason, detail.clone());
+                    return Err((reason.code(), detail));
                 }
             }
         }
@@ -327,47 +432,45 @@ impl Daemon {
                 // (its first attempt panicked and we just revived): the
                 // client should re-send the *next* seq; report the gap.
                 None => {
-                    return error_line(
+                    return Err((
                         ErrorCode::Input,
-                        &format!("seq {seq} accepted but undecided; resend seq {expected}"),
-                    )
+                        format!("seq {seq} accepted but undecided; resend seq {expected}"),
+                    ))
                 }
             };
             st.counters.replays += 1;
             self.counters.replays.fetch_add(1, Ordering::Relaxed);
             let rung = st.controller.as_ref().map_or(rsz_online::Rung::Exact, |c| c.rung());
-            return decision_line(seq, &config, rung, true);
+            return Ok((config, rung, true));
         }
         if seq > expected {
-            return error_line(
-                ErrorCode::Input,
-                &format!("seq gap: expected {expected}, got {seq}"),
-            );
+            return Err((ErrorCode::Input, format!("seq gap: expected {expected}, got {seq}")));
         }
 
         // Validation before the WAL: the log holds only accepted ticks.
         if let Err(detail) = st.validate_load(load) {
             st.counters.rejected += 1;
-            self.quarantine(&mut st, name, QuarantineReason::Input, detail.clone());
-            return error_line(ErrorCode::Input, &detail);
+            self.quarantine(st, name, QuarantineReason::Input, detail.clone());
+            return Err((ErrorCode::Input, detail));
         }
         match st.wal.as_mut() {
             Some(w) => {
                 if let Err(e) = w.append(&WalRecord::Tick { seq, load }) {
                     let detail = format!("WAL append failed: {e}");
-                    self.quarantine(&mut st, name, QuarantineReason::Io, detail.clone());
-                    return error_line(ErrorCode::Quarantined, &detail);
+                    self.quarantine(st, name, QuarantineReason::Io, detail.clone());
+                    return Err((ErrorCode::Quarantined, detail));
                 }
             }
             None => {
                 let detail = "WAL writer unavailable".to_owned();
-                self.quarantine(&mut st, name, QuarantineReason::Io, detail.clone());
-                return error_line(ErrorCode::Quarantined, &detail);
+                self.quarantine(st, name, QuarantineReason::Io, detail.clone());
+                return Err((ErrorCode::Quarantined, detail));
             }
         }
         st.loads.push(load);
+        self.maybe_rotate(st, name);
 
-        match self.step(&mut st, name) {
+        match self.step(st, name) {
             Ok((config, rung, elapsed)) => {
                 st.counters.decisions += 1;
                 st.counters.push_latency(elapsed.as_secs_f64());
@@ -379,14 +482,61 @@ impl Daemon {
                     st.spec.snapshot_every
                 };
                 if cadence > 0 && st.fresh_since_snapshot >= cadence {
-                    self.write_snapshot(&mut st, name);
+                    self.write_snapshot(st, name);
                 }
-                decision_line(seq, &config, rung, false)
+                let fe = self.options.fingerprint_every;
+                if fe > 0 && st.loads.len().is_multiple_of(fe) {
+                    // With a deadline armed the ladder may descend on
+                    // wall-clock overruns, so committed decisions are
+                    // not replica-comparable; the fingerprint then
+                    // covers the spec + accepted loads only.
+                    let full = st.spec.effective_deadline(self.options.deadline).is_none();
+                    let decisions = if full { Some(st.decisions.as_slice()) } else { None };
+                    let fp = state_fingerprint(&st.spec, &st.loads, decisions);
+                    st.push_fingerprint(Fingerprint { k: st.loads.len() as u64, fp, full });
+                }
+                Ok((config, rung, false))
             }
             Err((reason, detail)) => {
-                self.quarantine(&mut st, name, reason, detail.clone());
-                error_line(reason.code(), &detail)
+                self.quarantine(st, name, reason, detail.clone());
+                Err((reason.code(), detail))
             }
+        }
+    }
+
+    /// Seal the active WAL once it crosses the size threshold: rename
+    /// it to `<tenant>.<through>.walseg` and start a fresh active log
+    /// whose first record re-states the registration, so every segment
+    /// is self-describing. Rotation only happens between appends, hence
+    /// always at a record boundary — a torn tail can only ever live in
+    /// the active file.
+    fn maybe_rotate(&self, st: &mut TenantState, name: &str) {
+        let limit = self.options.segment_bytes;
+        if limit == 0 {
+            return;
+        }
+        let through = st.loads.len() as u64;
+        let Some(w) = st.wal.as_ref() else { return };
+        if (w.bytes() as usize) < limit || through <= st.last_sealed_through {
+            return;
+        }
+        let active = wal::wal_path(&self.options.state_dir, name);
+        let sealed = wal::seg_path(&self.options.state_dir, name, through);
+        st.wal = None; // close the appender before the rename
+        if std::fs::rename(&active, &sealed).is_err() {
+            // Rotation is an optimisation: keep appending to the old
+            // active file and try again at the next boundary.
+            st.wal = WalWriter::open(&active, self.options.fsync).ok();
+            return;
+        }
+        st.last_sealed_through = through;
+        self.counters.segments_sealed.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut w) = WalWriter::open(&active, self.options.fsync) {
+            // An append failure here leaves the active log empty;
+            // recovery re-states the registration, and the next tick's
+            // append surfaces the I/O error through quarantine.
+            let _ = w.append(&WalRecord::Register(st.spec.clone()));
+            st.wal = Some(w);
         }
     }
 
@@ -475,13 +625,31 @@ impl Daemon {
     }
 
     /// Bring a tenant back from quarantine (or rebuild a controller a
-    /// panic destroyed): restore from the snapshot when possible, fall
-    /// back to a full WAL replay, then replay any undecided suffix
-    /// through the normal step path.
-    fn revive(&self, st: &mut TenantState, name: &str) -> Result<(), (QuarantineReason, String)> {
+    /// panic destroyed): restore from the snapshot when possible, merge
+    /// the WAL's tick suffix (which may start past zero once segments
+    /// have been compacted away), fall back to a full WAL replay, then
+    /// replay any undecided suffix through the normal step path.
+    ///
+    /// A diverged tenant is *not* revivable from local storage — its
+    /// own WAL would faithfully replay the same divergent state — so
+    /// `Divergence` stays quarantined until a fresh resync replaces the
+    /// state wholesale.
+    fn revive(
+        &self,
+        st: &mut TenantState,
+        name: &str,
+        wal_suffix: &[(u64, f64)],
+    ) -> Result<(), (QuarantineReason, String)> {
+        if st.quarantine.as_ref().is_some_and(|q| q.reason == QuarantineReason::Divergence) {
+            return Err((
+                QuarantineReason::Divergence,
+                "diverged from the primary; local replay would reproduce the divergence".into(),
+            ));
+        }
         // Input quarantines keep the controller: the bad tick was never
         // applied, so the state is intact and the gate alone suffices.
-        if st.quarantine.as_ref().is_some_and(|q| q.reason == QuarantineReason::Input)
+        if wal_suffix.is_empty()
+            && st.quarantine.as_ref().is_some_and(|q| q.reason == QuarantineReason::Input)
             && st.controller.is_some()
             && st.decisions.len() == st.loads.len()
         {
@@ -497,6 +665,38 @@ impl Daemon {
         st.controller = None;
         st.decisions.clear();
         self.restore_from_snapshot(st, name);
+        // Merge the WAL ticks over whatever prefix the snapshot (or
+        // live memory) established: overlap must agree bit-for-bit, the
+        // contiguous extension is validated and accepted, and a gap
+        // means compaction deleted segments the snapshot was supposed
+        // to cover — unrecoverable locally.
+        for &(seq, load) in wal_suffix {
+            let len = st.loads.len() as u64;
+            if seq < len {
+                if st.loads[seq as usize].to_bits() != load.to_bits() {
+                    return Err((
+                        QuarantineReason::WalCorrupt,
+                        format!("WAL tick at seq {seq} disagrees with the snapshot prefix"),
+                    ));
+                }
+            } else if seq == len {
+                st.validate_load(load).map_err(|e| {
+                    (
+                        QuarantineReason::WalCorrupt,
+                        format!("WAL holds an invalid accepted load at seq {seq}: {e}"),
+                    )
+                })?;
+                st.loads.push(load);
+            } else {
+                return Err((
+                    QuarantineReason::WalCorrupt,
+                    format!(
+                        "WAL resumes at seq {seq} but only {len} ticks are recoverable \
+                         (compacted log without its snapshot)"
+                    ),
+                ));
+            }
+        }
         // Replay the undecided suffix through the very same step path a
         // live tick takes — this is what makes resume bit-identical.
         while st.decisions.len() < st.loads.len() {
@@ -533,6 +733,10 @@ impl Daemon {
     fn try_restore(&self, st: &mut TenantState, name: &str, bytes: &[u8]) -> Result<(), String> {
         let mut dec =
             Decoder::from_sealed(bytes).map_err(|e| describe_snapshot_error(bytes, &e))?;
+        let version = dec.take_u8().map_err(stringify)?;
+        if version != SNAP_FORMAT {
+            return Err(format!("snapshot format {version} (this daemon writes {SNAP_FORMAT})"));
+        }
         let snap_name =
             wire::take_str(&mut dec, "snapshot tenant name is not UTF-8").map_err(stringify)?;
         if snap_name != name {
@@ -543,12 +747,29 @@ impl Daemon {
             return Err("snapshot was taken under a different spec".into());
         }
         let k = dec.take_usize().map_err(stringify)?;
-        if k == 0 || k > st.loads.len() {
-            return Err(format!("snapshot covers {k} slots but the WAL holds {}", st.loads.len()));
+        if k == 0 {
+            return Err("snapshot covers zero slots".into());
+        }
+        let mut snap_loads = Vec::with_capacity(k);
+        for _ in 0..k {
+            snap_loads.push(dec.take_f64().map_err(stringify)?);
+        }
+        // The accepted loads already in memory (live revive) or already
+        // replayed from the WAL are ground truth: the snapshot's prefix
+        // must agree with them bit-for-bit. When the snapshot reaches
+        // *past* what the WAL still holds (compaction deleted covered
+        // segments), the snapshot supplies the missing prefix.
+        let overlap = k.min(st.loads.len());
+        for (i, snap) in snap_loads.iter().enumerate().take(overlap) {
+            if st.loads[i].to_bits() != snap.to_bits() {
+                return Err(format!("snapshot load at seq {i} disagrees with the WAL"));
+            }
         }
         let inner = dec.take_bytes().map_err(stringify)?.to_vec();
-        let full = std::mem::take(&mut st.loads);
-        st.loads = full[..k].to_vec();
+        let original = std::mem::take(&mut st.loads);
+        // Controller rebuild + inner restore see exactly the snapshot's
+        // k-slot prefix.
+        st.loads = if k > original.len() { snap_loads } else { original[..k].to_vec() };
         let built = self.build_tenant_controller(st, name);
         let result = (|| {
             built.map_err(|(_, e)| e)?;
@@ -562,9 +783,14 @@ impl Daemon {
             st.decisions = committed.iter().map(|(_, c)| c.clone()).collect();
             Ok(())
         })();
-        st.loads = full;
         match &result {
             Ok(()) => {
+                // Keep whichever committed prefix reaches further: the
+                // in-memory/WAL loads past k survive the restore.
+                if original.len() > k {
+                    st.loads = original;
+                }
+                st.last_snapshot_k = st.last_snapshot_k.max(k);
                 // restore_state rebuilds internal pools as owned, so
                 // the shared handle must be re-installed after restore.
                 if let Ok(instance) = st.prefix_instance() {
@@ -575,6 +801,9 @@ impl Daemon {
                 }
             }
             Err(_) => {
+                // A failed restore must leave the loads exactly as the
+                // WAL established them — never the snapshot's.
+                st.loads = original;
                 st.controller = None;
                 st.decisions.clear();
             }
@@ -582,9 +811,11 @@ impl Daemon {
         result
     }
 
-    /// Seal the tenant's state: `(name, spec, k, save_run bytes)` in a
-    /// checksummed envelope, written via tmp + rename so a crash leaves
-    /// either the old snapshot or the new one, never a hybrid.
+    /// Seal the tenant's state: `(format, name, spec, k, loads[..k],
+    /// save_run bytes)` in a checksummed envelope, written via tmp +
+    /// rename so a crash leaves either the old snapshot or the new one,
+    /// never a hybrid. A durable snapshot then compacts the WAL: every
+    /// sealed segment it fully covers is deleted.
     fn write_snapshot(&self, st: &mut TenantState, name: &str) {
         let Some(controller) = st.controller.as_ref() else { return };
         let k = st.decisions.len();
@@ -601,24 +832,47 @@ impl Daemon {
         }
         let inner = save_run(controller, &instance, &committed);
         let mut enc = Encoder::new();
+        enc.put_u8(SNAP_FORMAT);
         enc.put_bytes(name.as_bytes());
         st.spec.encode(&mut enc);
         enc.put_usize(k);
+        for load in &st.loads[..k] {
+            enc.put_f64(*load);
+        }
         enc.put_bytes(&inner);
         let sealed = enc.into_sealed();
         let path = wal::snap_path(&self.options.state_dir, name);
         let tmp = path.with_extension("snap.tmp");
-        let io = std::fs::write(&tmp, &sealed).and_then(|()| std::fs::rename(&tmp, &path));
+        let io = std::fs::write(&tmp, &sealed).and_then(|()| {
+            if self.options.fsync {
+                let f = std::fs::File::open(&tmp)?;
+                f.sync_data()?;
+            }
+            std::fs::rename(&tmp, &path)
+        });
         match io {
             Ok(()) => {
                 st.fresh_since_snapshot = 0;
+                st.last_snapshot_k = k;
                 st.counters.snapshots += 1;
                 self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                self.compact_segments(st, name, k as u64);
             }
             Err(_) => {
                 // Snapshot write failure is not fatal: the WAL still
                 // recovers everything, just slower.
                 let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Delete sealed WAL segments the durable snapshot fully covers:
+    /// a segment running through `through ≤ k` contributes nothing the
+    /// snapshot's bit-exact load prefix does not already hold.
+    fn compact_segments(&self, _st: &mut TenantState, name: &str, k: u64) {
+        for (through, path) in wal::list_segments(&self.options.state_dir, name) {
+            if through <= k && std::fs::remove_file(&path).is_ok() {
+                self.counters.segments_compacted.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -637,22 +891,33 @@ impl Daemon {
         }
     }
 
-    /// Scan the state directory for surviving WALs and recover each
-    /// tenant. Per-tenant failures quarantine that tenant; nothing here
-    /// aborts startup.
+    /// Scan the state directory for surviving state and recover each
+    /// tenant. A tenant is discoverable through its active WAL, any
+    /// sealed segment, or its snapshot — a crash between seal-rename
+    /// and fresh-active-open leaves no `.wal` file, and compaction can
+    /// leave a snapshot as the only pre-suffix evidence. Per-tenant
+    /// failures quarantine that tenant; nothing here aborts startup.
     fn recover_all(&self) {
         let entries = match std::fs::read_dir(&self.options.state_dir) {
             Ok(e) => e,
             Err(_) => return,
         };
+        let mut names = std::collections::BTreeSet::new();
         for entry in entries.flatten() {
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("wal") {
-                continue;
+            let Some(file) = path.file_name().and_then(|s| s.to_str()) else { continue };
+            if let Some(stem) = file.strip_suffix(".wal").or_else(|| file.strip_suffix(".snap")) {
+                names.insert(stem.to_owned());
+            } else if let Some(stem) = file.strip_suffix(".walseg") {
+                // `<tenant>.NNNNNNNNNNNN.walseg`
+                if let Some((tenant, digits)) = stem.rsplit_once('.') {
+                    if digits.len() == 12 && digits.bytes().all(|b| b.is_ascii_digit()) {
+                        names.insert(tenant.to_owned());
+                    }
+                }
             }
-            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
-                continue;
-            };
+        }
+        for name in names {
             if let Some(state) = self.recover_tenant(&name) {
                 self.counters.recovered.fetch_add(1, Ordering::Relaxed);
                 lock_clean(&self.tenants).insert(
@@ -663,34 +928,97 @@ impl Daemon {
         }
     }
 
-    /// Recover one tenant from its WAL (+snapshot). Returns `None` only
-    /// when the log holds nothing usable at all (no registration).
+    /// Recover one tenant from its sealed WAL segments + active WAL
+    /// (+snapshot). Returns `None` only when nothing usable survives at
+    /// all (no registration in any log and no readable snapshot).
     fn recover_tenant(&self, name: &str) -> Option<TenantState> {
-        let path = wal::wal_path(&self.options.state_dir, name);
-        let bytes = wal::read_file(&path).ok()?;
-        if bytes.is_empty() {
-            return None;
-        }
-        let WalScan { records, intact_len, tail } = wal::scan(&bytes);
-        let mut corrupt_detail = None;
-        match tail {
-            WalTail::Clean => {}
-            WalTail::Torn { .. } => {
-                // Crash-consistent: drop the torn tail and resume from
-                // the intact prefix.
-                let _ = wal::truncate_file(&path, intact_len);
-                self.counters.wal_truncations.fetch_add(1, Ordering::Relaxed);
+        let active = wal::wal_path(&self.options.state_dir, name);
+        let segments = wal::list_segments(&self.options.state_dir, name);
+        let last_sealed_through = segments.last().map_or(0, |(t, _)| *t);
+        let mut sources: Vec<(PathBuf, bool)> =
+            segments.into_iter().map(|(_, p)| (p, false)).collect();
+        sources.push((active.clone(), true));
+
+        let mut spec: Option<TenantSpec> = None;
+        let mut ticks: Vec<(u64, f64)> = Vec::new();
+        let mut corrupt_detail: Option<String> = None;
+
+        'sources: for (path, is_active) in &sources {
+            let bytes = match wal::read_file(path) {
+                Ok(b) => b,
+                // No active file at all: a crash between seal-rename
+                // and fresh-active-open. The sealed segments carry the
+                // history; a fresh active log is opened below.
+                Err(_) if *is_active => Vec::new(),
+                Err(e) => {
+                    corrupt_detail
+                        .get_or_insert_with(|| format!("sealed WAL segment unreadable: {e}"));
+                    break;
+                }
+            };
+            if bytes.is_empty() {
+                continue;
             }
-            WalTail::Corrupt { start, end, what } => {
-                corrupt_detail = Some(format!("WAL bytes {start}..{end} failed integrity: {what}"));
+            let WalScan { records, intact_len, tail } = wal::scan(&bytes);
+            match tail {
+                WalTail::Clean => {}
+                WalTail::Torn { .. } if *is_active => {
+                    // Crash-consistent: drop the torn tail and resume
+                    // from the intact prefix.
+                    let _ = wal::truncate_file(path, intact_len);
+                    self.counters.wal_truncations.fetch_add(1, Ordering::Relaxed);
+                }
+                WalTail::Torn { at } => {
+                    // Rotation seals only at record boundaries; a torn
+                    // sealed segment means storage lost bytes.
+                    corrupt_detail
+                        .get_or_insert_with(|| format!("sealed WAL segment torn at byte {at}"));
+                }
+                WalTail::Corrupt { start, end, what } => {
+                    corrupt_detail.get_or_insert_with(|| {
+                        format!("WAL bytes {start}..{end} failed integrity: {what}")
+                    });
+                }
+            }
+            for record in records {
+                match record {
+                    WalRecord::Register(s) => match &spec {
+                        // Segments re-state the registration so each is
+                        // self-describing; re-statements must agree.
+                        None => spec = Some(s),
+                        Some(prev) if *prev == s => {}
+                        Some(_) => {
+                            corrupt_detail.get_or_insert_with(|| {
+                                "WAL re-registers the tenant with a different spec".to_owned()
+                            });
+                            break 'sources;
+                        }
+                    },
+                    WalRecord::Tick { seq, load } => {
+                        let contiguous = match ticks.last() {
+                            // Compaction may have deleted early
+                            // segments: any starting seq is legal, the
+                            // snapshot must cover the gap (checked in
+                            // revive).
+                            None => true,
+                            Some(&(last, _)) => seq == last + 1,
+                        };
+                        if !contiguous {
+                            corrupt_detail
+                                .get_or_insert_with(|| "WAL records out of sequence".to_owned());
+                            break 'sources;
+                        }
+                        ticks.push((seq, load));
+                    }
+                }
+            }
+            if corrupt_detail.is_some() {
+                break;
             }
         }
-        let mut records = records.into_iter();
-        let spec = match records.next() {
-            Some(WalRecord::Register(spec)) => spec,
-            // No usable registration: nothing to attach a tenant to.
-            _ => return None,
-        };
+
+        // No usable registration anywhere: nothing to attach to.
+        let spec = spec.or_else(|| self.snapshot_spec(name))?;
         let types = spec.server_types().ok()?;
         let mut state = TenantState {
             spec,
@@ -702,30 +1030,24 @@ impl Daemon {
             fresh_since_snapshot: 0,
             quarantine: None,
             counters: TenantCounters::default(),
+            fingerprints: Vec::new(),
+            last_sealed_through,
+            last_snapshot_k: 0,
+            fp_checked: 0,
         };
-        for record in records {
-            match record {
-                WalRecord::Tick { seq, load } if seq == state.loads.len() as u64 => {
-                    if state.validate_load(load).is_err() {
-                        corrupt_detail.get_or_insert_with(|| {
-                            format!("WAL holds an invalid accepted load at seq {seq}")
-                        });
-                        break;
-                    }
-                    state.loads.push(load);
-                }
-                _ => {
-                    corrupt_detail.get_or_insert_with(|| "WAL records out of sequence".to_owned());
-                    break;
-                }
-            }
-        }
         if let Some(detail) = corrupt_detail {
             self.quarantine(&mut state, name, QuarantineReason::WalCorrupt, detail);
             return Some(state);
         }
-        match WalWriter::open(&path, self.options.fsync) {
-            Ok(w) => state.wal = Some(w),
+        match WalWriter::open(&active, self.options.fsync) {
+            Ok(mut w) => {
+                if w.bytes() == 0 {
+                    // Fresh (or lost) active log: re-state the
+                    // registration so the segment is self-describing.
+                    let _ = w.append(&WalRecord::Register(state.spec.clone()));
+                }
+                state.wal = Some(w);
+            }
             Err(e) => {
                 self.quarantine(
                     &mut state,
@@ -736,12 +1058,26 @@ impl Daemon {
                 return Some(state);
             }
         }
-        if !state.loads.is_empty() {
-            if let Err((reason, detail)) = self.revive(&mut state, name) {
-                self.quarantine(&mut state, name, reason, detail);
-            }
+        if let Err((reason, detail)) = self.revive(&mut state, name, &ticks) {
+            self.quarantine(&mut state, name, reason, detail);
         }
         Some(state)
+    }
+
+    /// Peek a snapshot's header for the tenant spec — the fallback
+    /// registration source when compaction + crash timing left no WAL
+    /// holding a `Register` record.
+    fn snapshot_spec(&self, name: &str) -> Option<TenantSpec> {
+        let bytes = std::fs::read(wal::snap_path(&self.options.state_dir, name)).ok()?;
+        let mut dec = Decoder::from_sealed(&bytes).ok()?;
+        if dec.take_u8().ok()? != SNAP_FORMAT {
+            return None;
+        }
+        let snap_name = wire::take_str(&mut dec, "snapshot tenant name is not UTF-8").ok()?;
+        if snap_name != name {
+            return None;
+        }
+        TenantSpec::decode(&mut dec).ok()
     }
 
     fn quarantine(
@@ -759,6 +1095,305 @@ impl Daemon {
             self.options.backoff_cap,
             name,
         );
+    }
+
+    /// Orderly shutdown: stop admitting writes *first* (clients see
+    /// `overloaded` and fail over), then flush + fsync every tenant's
+    /// WAL and seal a final snapshot. Idempotent.
+    pub fn graceful_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let slots: Vec<(String, Arc<TenantSlot>)> = {
+            let tenants = lock_clean(&self.tenants);
+            tenants.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        for (name, slot) in slots {
+            let mut st = lock_clean(&slot.state);
+            if let Some(w) = st.wal.as_mut() {
+                let _ = w.sync();
+            }
+            if st.quarantine.is_none() {
+                self.write_snapshot(&mut st, &name);
+            }
+        }
+    }
+
+    /// Replica → Primary failover: seal what we have, flip the role,
+    /// start accepting writes. The committed prefix was applied through
+    /// the identical step path, so every tenant resumes bit-identically
+    /// with zero accepted-tick loss.
+    pub fn promote(&self) {
+        self.set_role(Role::Promoting);
+        self.snapshot_all();
+        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+        self.repl_lag.store(0, Ordering::Relaxed);
+        self.set_role(Role::Primary);
+    }
+
+    /// Accepted-tick counts per tenant, sorted by name — what a replica
+    /// reports as `have` in `repl.sync`.
+    #[must_use]
+    pub fn replication_have(&self) -> Vec<(String, u64)> {
+        let tenants = lock_clean(&self.tenants);
+        let mut have: Vec<(String, u64)> = tenants
+            .iter()
+            .map(|(name, slot)| (name.clone(), lock_clean(&slot.state).loads.len() as u64))
+            .collect();
+        have.sort();
+        have
+    }
+
+    /// Replication lag gauge (accepted ticks behind the primary after
+    /// the latest applied sync).
+    #[must_use]
+    pub fn repl_lag_ticks(&self) -> u64 {
+        self.repl_lag.load(Ordering::Relaxed)
+    }
+
+    /// Chaos hook: flip one mantissa bit in a committed load so the
+    /// next fingerprint check must trip. Gated on `allow_fault_hooks`;
+    /// returns whether a bit was flipped.
+    pub fn inject_divergence(&self, name: &str) -> bool {
+        if !self.options.allow_fault_hooks {
+            return false;
+        }
+        let slot = {
+            let tenants = lock_clean(&self.tenants);
+            tenants.get(name).cloned()
+        };
+        let Some(slot) = slot else { return false };
+        let mut st = lock_clean(&slot.state);
+        if st.loads.is_empty() {
+            return false;
+        }
+        let mid = st.loads.len() / 2;
+        st.loads[mid] = f64::from_bits(st.loads[mid].to_bits() ^ (1 << 30));
+        true
+    }
+
+    /// The primary's answer to `repl.sync`: per non-quarantined tenant,
+    /// the WAL frames the replica is missing (hex, FNV-1a framing
+    /// intact end-to-end), the durable-snapshot horizon, and the recent
+    /// fingerprint ring.
+    fn sync_reply(&self, replica: &str, have: &[(String, u64)]) -> String {
+        self.counters.repl_syncs.fetch_add(1, Ordering::Relaxed);
+        let have: HashMap<&str, u64> = have.iter().map(|(t, n)| (t.as_str(), *n)).collect();
+        let slots: Vec<(String, Arc<TenantSlot>)> = {
+            let tenants = lock_clean(&self.tenants);
+            let mut v: Vec<_> = tenants.iter().map(|(k, s)| (k.clone(), s.clone())).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut tenant_objs: Vec<(String, Json)> = Vec::new();
+        for (name, slot) in slots {
+            let st = lock_clean(&slot.state);
+            // Quarantined state never replicates: the replica keeps its
+            // own (healthy or older) view instead of inheriting faults.
+            if st.quarantine.is_some() {
+                continue;
+            }
+            let total = st.loads.len() as u64;
+            let base = have.get(name.as_str()).copied().unwrap_or(0).min(total);
+            let mut frames = Vec::new();
+            if base == 0 {
+                frames.extend_from_slice(&wal::frame(&WalRecord::Register(st.spec.clone())));
+            }
+            for seq in base..total {
+                frames.extend_from_slice(&wal::frame(&WalRecord::Tick {
+                    seq,
+                    load: st.loads[seq as usize],
+                }));
+            }
+            let fps: Vec<Json> = st
+                .fingerprints
+                .iter()
+                .map(|f| {
+                    Json::Obj(vec![
+                        ("k".to_owned(), json::n(f.k as f64)),
+                        ("fp".to_owned(), json::s(format!("{:016x}", f.fp))),
+                        ("full".to_owned(), Json::Bool(f.full)),
+                    ])
+                })
+                .collect();
+            tenant_objs.push((
+                name,
+                Json::Obj(vec![
+                    ("ticks".to_owned(), json::n(total as f64)),
+                    ("snap_k".to_owned(), json::n(st.last_snapshot_k as f64)),
+                    ("frames".to_owned(), json::s(to_hex(&frames))),
+                    ("fps".to_owned(), Json::Arr(fps)),
+                ]),
+            ));
+        }
+        json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("role", json::s(self.role().as_str())),
+            ("replica", json::s(replica)),
+            ("tenants", Json::Obj(tenant_objs)),
+        ])
+        .to_line()
+    }
+
+    /// Apply one primary sync reply on this (replica) daemon. Frames
+    /// ride through [`wal::scan`] so transit corruption is rejected by
+    /// the same FNV-1a framing that guards the on-disk log, ticks apply
+    /// through `Daemon::tick_core` — the identical path a live tick
+    /// takes — and every unchecked fingerprint at or below our tick
+    /// count is recomputed and compared. Per-tenant failures land in
+    /// the report; only an unusable reply errors out.
+    pub fn apply_sync(&self, reply: &str) -> Result<ApplyReport, String> {
+        let value = json::parse(reply).map_err(|e| format!("sync reply is not JSON: {e}"))?;
+        if value.get("ok").and_then(Json::as_bool) != Some(true) {
+            let code = value.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            return Err(format!("primary refused sync: {code}"));
+        }
+        let tenants = match value.get("tenants") {
+            Some(Json::Obj(members)) => members.clone(),
+            _ => return Err("sync reply lacks a tenants object".into()),
+        };
+        let mut report = ApplyReport::default();
+        for (name, body) in &tenants {
+            report.tenants += 1;
+            if let Err(e) = self.apply_tenant_sync(name, body, &mut report) {
+                report.errors.push(format!("{name}: {e}"));
+            }
+        }
+        self.repl_lag.store(report.lag, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    fn apply_tenant_sync(
+        &self,
+        name: &str,
+        body: &Json,
+        report: &mut ApplyReport,
+    ) -> Result<(), String> {
+        let primary_ticks =
+            body.get("ticks").and_then(Json::as_u64).ok_or("tenant body lacks ticks")?;
+        let frames_hex = body.get("frames").and_then(Json::as_str).unwrap_or("");
+        let bytes = from_hex(frames_hex).ok_or("frames are not valid hex")?;
+        let WalScan { records, tail, .. } = wal::scan(&bytes);
+        if !matches!(tail, WalTail::Clean) {
+            // A bit flipped in transit: reject the whole batch before
+            // anything reaches the step path; the next sync re-ships.
+            self.counters.repl_frame_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err("frame batch failed its FNV-1a integrity check".into());
+        }
+        for record in records {
+            match record {
+                WalRecord::Register(spec) => {
+                    self.do_register(name, spec).map_err(|(_, detail)| detail)?;
+                }
+                WalRecord::Tick { seq, load } => {
+                    let slot = {
+                        let tenants = lock_clean(&self.tenants);
+                        tenants.get(name).cloned()
+                    };
+                    let Some(slot) = slot else {
+                        return Err(format!("tick {seq} for an unregistered tenant"));
+                    };
+                    let mut st = lock_clean(&slot.state);
+                    match self.tick_core(&mut st, name, seq, load) {
+                        Ok((_, _, replayed)) => {
+                            if !replayed {
+                                report.applied += 1;
+                                self.counters.repl_applied.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err((_, detail)) => return Err(detail),
+                    }
+                }
+            }
+        }
+        let slot = {
+            let tenants = lock_clean(&self.tenants);
+            tenants.get(name).cloned()
+        };
+        let Some(slot) = slot else { return Ok(()) };
+        let mut st = lock_clean(&slot.state);
+        report.lag += primary_ticks.saturating_sub(st.loads.len() as u64);
+        if st.quarantine.is_some() {
+            return Ok(());
+        }
+        // Cross-check the primary's fingerprints against our own state
+        // — every k we have reached and not yet checked.
+        if let Some(Json::Arr(fps)) = body.get("fps") {
+            for fp_obj in fps {
+                let Some(k) = fp_obj.get("k").and_then(Json::as_u64) else { continue };
+                let Some(fp_hex) = fp_obj.get("fp").and_then(Json::as_str) else { continue };
+                let Ok(theirs) = u64::from_str_radix(fp_hex, 16) else { continue };
+                let full = fp_obj.get("full").and_then(Json::as_bool).unwrap_or(false);
+                if k == 0 || k <= st.fp_checked || k > st.loads.len() as u64 {
+                    continue;
+                }
+                if full && st.decisions.len() < k as usize {
+                    continue; // undecided suffix; the next sync re-checks
+                }
+                let decisions = if full { Some(&st.decisions[..k as usize]) } else { None };
+                let ours = state_fingerprint(&st.spec, &st.loads[..k as usize], decisions);
+                st.fp_checked = k;
+                report.fp_checks += 1;
+                self.counters.fingerprint_checks.fetch_add(1, Ordering::Relaxed);
+                if ours != theirs {
+                    report.fp_mismatches += 1;
+                    self.counters.fingerprint_mismatches.fetch_add(1, Ordering::Relaxed);
+                    let detail = format!(
+                        "state fingerprint at k={k} is {ours:016x}, primary says {theirs:016x}"
+                    );
+                    self.quarantine(&mut st, name, QuarantineReason::Divergence, detail.clone());
+                    return Err(detail);
+                }
+            }
+        }
+        // The primary's durable horizon advanced past ours: seal our
+        // own snapshot (which also compacts our sealed segments).
+        if let Some(snap_k) = body.get("snap_k").and_then(Json::as_u64) {
+            if snap_k > st.last_snapshot_k as u64
+                && st.decisions.len() == st.loads.len()
+                && st.loads.len() as u64 >= snap_k
+            {
+                self.write_snapshot(&mut st, name);
+            }
+        }
+        Ok(())
+    }
+
+    fn livez_line(&self) -> String {
+        json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("live", Json::Bool(true)),
+            ("uptime_us", json::n(self.started.elapsed().as_micros() as f64)),
+        ])
+        .to_line()
+    }
+
+    fn readyz_line(&self) -> String {
+        let (total, reasons) = {
+            let tenants = lock_clean(&self.tenants);
+            let mut names: Vec<&String> = tenants.keys().collect();
+            names.sort();
+            let mut reasons: Vec<(String, Json)> = Vec::new();
+            for name in &names {
+                let st = lock_clean(&tenants[*name].state);
+                if let Some(q) = &st.quarantine {
+                    reasons.push(((*name).clone(), json::s(q.reason.as_str())));
+                }
+            }
+            (tenants.len(), reasons)
+        };
+        let role = self.role();
+        let ready = role == Role::Primary && !self.shutdown_requested();
+        json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("ready", Json::Bool(ready)),
+            ("role", json::s(role.as_str())),
+            ("repl_lag_ticks", json::n(self.repl_lag.load(Ordering::Relaxed) as f64)),
+            ("tenants", json::n(total as f64)),
+            ("quarantined", json::n(reasons.len() as f64)),
+            ("quarantine_reasons", Json::Obj(reasons)),
+        ])
+        .to_line()
     }
 
     fn health_line(&self) -> String {
@@ -851,6 +1486,19 @@ impl Daemon {
             ("snapshot_fallbacks", json::n(c.snapshot_fallbacks.load(Ordering::Relaxed) as f64)),
             ("snapshots", json::n(c.snapshots.load(Ordering::Relaxed) as f64)),
             ("recovered", json::n(c.recovered.load(Ordering::Relaxed) as f64)),
+            ("role", json::s(self.role().as_str())),
+            ("repl_lag_ticks", json::n(self.repl_lag.load(Ordering::Relaxed) as f64)),
+            ("segments_sealed", json::n(c.segments_sealed.load(Ordering::Relaxed) as f64)),
+            ("segments_compacted", json::n(c.segments_compacted.load(Ordering::Relaxed) as f64)),
+            ("repl_syncs", json::n(c.repl_syncs.load(Ordering::Relaxed) as f64)),
+            ("repl_applied", json::n(c.repl_applied.load(Ordering::Relaxed) as f64)),
+            ("repl_frame_rejects", json::n(c.repl_frame_rejects.load(Ordering::Relaxed) as f64)),
+            ("fingerprint_checks", json::n(c.fingerprint_checks.load(Ordering::Relaxed) as f64)),
+            (
+                "fingerprint_mismatches",
+                json::n(c.fingerprint_mismatches.load(Ordering::Relaxed) as f64),
+            ),
+            ("failovers", json::n(c.failovers.load(Ordering::Relaxed) as f64)),
             ("pool_hit_rate", json::n(hit_rate)),
             ("rung_exact", json::n(daemon_degrade.exact as f64)),
             ("rung_coarse", json::n(daemon_degrade.coarse as f64)),

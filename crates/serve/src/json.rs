@@ -395,6 +395,13 @@ pub fn obj(members: Vec<(&str, Json)>) -> Json {
     Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
+/// An object from owned keys — for maps keyed by runtime names (the
+/// replication protocol's per-tenant sections).
+#[must_use]
+pub fn obj_owned(members: Vec<(String, Json)>) -> Json {
+    Json::Obj(members)
+}
+
 /// A string member value.
 pub fn s(v: impl Into<String>) -> Json {
     Json::Str(v.into())

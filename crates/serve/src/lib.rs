@@ -31,10 +31,19 @@
 //! behind [`Daemon::handle`] (one request line in, one reply line out),
 //! which is also how the chaos suite drives the daemon in-process.
 
+//! A fifth promise arrived with replication: **availability** — a
+//! primary streams its per-tenant WAL frames and state fingerprints to
+//! pull-based replicas ([`replication`]); replicas apply them through
+//! the identical step path, cross-check fingerprints (silent divergence
+//! quarantines the tenant rather than serving a wrong plan), and
+//! promote themselves after a deterministic lease expiry with zero
+//! accepted-tick loss.
+
 pub mod client;
 pub mod daemon;
 pub mod json;
 pub mod protocol;
+pub mod replication;
 pub mod server;
 pub mod spec;
 pub mod tenant;
@@ -43,6 +52,9 @@ pub mod wal;
 pub use client::{Client, ClientError, ClientOptions, Decision};
 pub use daemon::{describe_snapshot_error, Daemon, ServeOptions};
 pub use protocol::{ErrorCode, Request};
-pub use server::Server;
+pub use replication::{
+    from_hex, run_replica, state_fingerprint, to_hex, ApplyReport, ReplicaOptions, Replicator, Role,
+};
+pub use server::{install_sigterm_handler, Server};
 pub use spec::{build_controller, BoxController, GridSpec, ServeController, TenantSpec};
-pub use tenant::{QuarantineReason, TenantState};
+pub use tenant::{Fingerprint, QuarantineReason, TenantState};

@@ -40,6 +40,10 @@ pub enum ErrorCode {
     /// The tenant is quarantined; the detail carries the reason and the
     /// earliest retry time.
     Quarantined,
+    /// This daemon is a replica (or mid-promotion) and does not accept
+    /// writes; retry against the primary — or another peer, if the
+    /// primary is what just died.
+    NotPrimary,
 }
 
 impl ErrorCode {
@@ -55,6 +59,7 @@ impl ErrorCode {
             ErrorCode::WalCorrupt => "wal_corrupt",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Quarantined => "quarantined",
+            ErrorCode::NotPrimary => "not_primary",
         }
     }
 
@@ -70,6 +75,7 @@ impl ErrorCode {
             "wal_corrupt" => ErrorCode::WalCorrupt,
             "overloaded" => ErrorCode::Overloaded,
             "quarantined" => ErrorCode::Quarantined,
+            "not_primary" => ErrorCode::NotPrimary,
             _ => return None,
         })
     }
@@ -85,12 +91,28 @@ pub enum Request {
     /// and fails load validation downstream — attributed to the tenant,
     /// as a poisoned trace should be.
     Tick { tenant: String, seq: u64, load: f64 },
-    /// Liveness probe.
+    /// Legacy combined health probe (liveness + a tenant summary).
     Health,
+    /// Pure liveness: is the process up and answering?
+    Livez,
+    /// Readiness: role, replication lag, quarantined tenants — what an
+    /// external supervisor gates traffic and failover on.
+    Readyz,
     /// Counter export.
     Metrics,
-    /// Orderly daemon stop (snapshot all tenants, close listeners).
+    /// Orderly daemon stop (stop admission, flush + fsync WALs, final
+    /// snapshots, close listeners).
     Shutdown,
+    /// Replication pull: a replica reports how many ticks it holds per
+    /// tenant (`have`) and the primary answers with the WAL frames it
+    /// is missing plus recent state fingerprints.
+    ReplSync {
+        /// The requesting replica's self-chosen identifier (logged and
+        /// echoed, not interpreted).
+        replica: String,
+        /// `(tenant, accepted-tick count)` pairs the replica holds.
+        have: Vec<(String, u64)>,
+    },
 }
 
 /// Why a line failed to parse as a [`Request`].
@@ -107,6 +129,10 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     match line {
         "GET /health" | "GET /health HTTP/1.1" | "GET /health HTTP/1.0" => {
             return Ok(Request::Health)
+        }
+        "GET /livez" | "GET /livez HTTP/1.1" | "GET /livez HTTP/1.0" => return Ok(Request::Livez),
+        "GET /readyz" | "GET /readyz HTTP/1.1" | "GET /readyz HTTP/1.0" => {
+            return Ok(Request::Readyz)
         }
         "GET /metrics" | "GET /metrics HTTP/1.1" | "GET /metrics HTTP/1.0" => {
             return Ok(Request::Metrics)
@@ -165,8 +191,34 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
             Ok(Request::Tick { tenant, seq, load })
         }
         "health" => Ok(Request::Health),
+        "livez" => Ok(Request::Livez),
+        "readyz" => Ok(Request::Readyz),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
+        "repl.sync" => {
+            let replica = v
+                .get("replica")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ParseError { detail: "repl.sync needs a `replica` string".into() })?
+                .to_owned();
+            let have = match v.get("have") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Obj(fields)) => {
+                    let mut have = Vec::with_capacity(fields.len());
+                    for (tenant, count) in fields {
+                        let n = count.as_u64().ok_or_else(|| ParseError {
+                            detail: format!("repl.sync `have.{tenant}` must be an integer"),
+                        })?;
+                        have.push((tenant.clone(), n));
+                    }
+                    have
+                }
+                Some(_) => {
+                    return Err(ParseError { detail: "repl.sync `have` must be an object".into() })
+                }
+            };
+            Ok(Request::ReplSync { replica, have })
+        }
         other => Err(ParseError { detail: format!("unknown op `{other}`") }),
     }
 }
@@ -257,6 +309,31 @@ mod tests {
         assert_eq!(r, Request::Tick { tenant: "t1".into(), seq: 7, load: 2.5 });
         assert_eq!(parse_request("GET /health").unwrap(), Request::Health);
         assert_eq!(parse_request("GET /metrics HTTP/1.1").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("GET /livez").unwrap(), Request::Livez);
+        assert_eq!(parse_request("GET /readyz HTTP/1.0").unwrap(), Request::Readyz);
+    }
+
+    #[test]
+    fn repl_sync_parses_and_rejects_malformed_have() {
+        let r =
+            parse_request(r#"{"op":"repl.sync","replica":"r1","have":{"t1":5,"t2":0}}"#).unwrap();
+        match r {
+            Request::ReplSync { replica, have } => {
+                assert_eq!(replica, "r1");
+                assert_eq!(have, vec![("t1".to_owned(), 5), ("t2".to_owned(), 0)]);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        // `have` may be absent (a cold replica knows nothing yet).
+        let r = parse_request(r#"{"op":"repl.sync","replica":"r1"}"#).unwrap();
+        assert!(matches!(r, Request::ReplSync { ref have, .. } if have.is_empty()), "{r:?}");
+        for bad in [
+            r#"{"op":"repl.sync"}"#,
+            r#"{"op":"repl.sync","replica":"r1","have":[1]}"#,
+            r#"{"op":"repl.sync","replica":"r1","have":{"t":"x"}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]
@@ -310,6 +387,7 @@ mod tests {
             ErrorCode::WalCorrupt,
             ErrorCode::Overloaded,
             ErrorCode::Quarantined,
+            ErrorCode::NotPrimary,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }

@@ -8,10 +8,48 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crate::daemon::Daemon;
+
+/// Set by the `SIGTERM` handler; the accept loop polls it and turns it
+/// into [`Daemon::graceful_shutdown`] on the next iteration.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_sigterm(_sig: i32) {
+    // Async-signal-safe: one relaxed store, nothing else.
+    SIGTERM_RECEIVED.store(true, Ordering::Relaxed);
+}
+
+/// Install a `SIGTERM` handler that requests an orderly shutdown (stop
+/// admission, flush + fsync WALs, seal final snapshots, exit 0). No-op
+/// off Unix. Uses the libc `signal` symbol directly — no crate
+/// dependency — which is fine for a handler this trivial.
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // atomic store is async-signal-safe; SIGTERM is 15 on every
+        // Unix this builds for.
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+            }
+            const SIGTERM: i32 = 15;
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
+
+/// Whether a `SIGTERM` has been received since the handler was
+/// installed (visible for tests).
+#[must_use]
+pub fn sigterm_received() -> bool {
+    SIGTERM_RECEIVED.load(Ordering::Relaxed)
+}
 
 /// A serving daemon bound to a TCP address.
 pub struct Server {
@@ -48,6 +86,10 @@ impl Server {
     pub fn run(&self) -> std::io::Result<()> {
         let mut workers = Vec::new();
         while !self.daemon.shutdown_requested() {
+            if SIGTERM_RECEIVED.load(Ordering::Relaxed) {
+                self.daemon.graceful_shutdown();
+                break;
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let daemon = Arc::clone(&self.daemon);

@@ -130,6 +130,26 @@ impl TenantSpec {
         fleet::parse(&self.fleet)
     }
 
+    /// The per-decision deadline this spec selects under a daemon-wide
+    /// default: `None` inherits the default, `Some(0)` disables the
+    /// ladder outright, anything else is the tenant's own budget.
+    ///
+    /// When this resolves to `None` the degradation ladder is a
+    /// bit-transparent shim, which is what makes re-stepping this
+    /// tenant's ticks — recovery replay and replication apply alike —
+    /// reproduce its decisions bit-identically.
+    #[must_use]
+    pub fn effective_deadline(
+        &self,
+        daemon_default: Option<std::time::Duration>,
+    ) -> Option<std::time::Duration> {
+        match self.deadline_us {
+            None => daemon_default,
+            Some(0) => None,
+            Some(us) => Some(std::time::Duration::from_micros(us)),
+        }
+    }
+
     /// Serialize into a WAL/snapshot payload.
     pub fn encode(&self, enc: &mut Encoder) {
         enc.put_bytes(self.fleet.as_bytes());

@@ -39,6 +39,11 @@ pub enum QuarantineReason {
     /// The state directory stopped cooperating (I/O error on append or
     /// snapshot write).
     Io,
+    /// A replication fingerprint check failed: this replica's state for
+    /// the tenant disagrees with the primary's. Not revivable from
+    /// local storage — the local WAL would replay the same divergent
+    /// state — so the tenant stays gated until a fresh resync.
+    Divergence,
 }
 
 impl QuarantineReason {
@@ -52,6 +57,7 @@ impl QuarantineReason {
             QuarantineReason::WalCorrupt => ErrorCode::WalCorrupt,
             QuarantineReason::SnapshotCorrupt => ErrorCode::SnapshotCorrupt,
             QuarantineReason::Io => ErrorCode::Quarantined,
+            QuarantineReason::Divergence => ErrorCode::Quarantined,
         }
     }
 
@@ -64,6 +70,7 @@ impl QuarantineReason {
             QuarantineReason::WalCorrupt => "wal_corrupt",
             QuarantineReason::SnapshotCorrupt => "snapshot_corrupt",
             QuarantineReason::Io => "io",
+            QuarantineReason::Divergence => "divergence",
         }
     }
 }
@@ -137,6 +144,22 @@ impl TenantCounters {
     }
 }
 
+/// One periodic state fingerprint: FNV-1a over the tenant's sealed
+/// `RSZSNAP` canonical-state snapshot at `k` accepted ticks. `full`
+/// records whether committed decisions were folded in (they are iff the
+/// degradation ladder was off when the fingerprint was taken — with the
+/// ladder armed, decisions depend on wall-clock timings and a faithful
+/// replica may legitimately differ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Accepted-tick count the fingerprint covers.
+    pub k: u64,
+    /// FNV-1a over the sealed canonical-state bytes.
+    pub fp: u64,
+    /// Whether committed decisions are part of the covered state.
+    pub full: bool,
+}
+
 /// Everything the daemon holds for one tenant.
 pub struct TenantState {
     /// The registration spec (also the WAL's first record).
@@ -158,6 +181,30 @@ pub struct TenantState {
     pub quarantine: Option<Quarantine>,
     /// Rolling counters.
     pub counters: TenantCounters,
+    /// Recent periodic state fingerprints, oldest first, bounded —
+    /// what a primary ships to replicas for divergence checks.
+    pub fingerprints: Vec<Fingerprint>,
+    /// Accepted ticks the newest sealed WAL segment runs through (0
+    /// when the log has never rotated). Guards against sealing two
+    /// segments at the same boundary.
+    pub last_sealed_through: u64,
+    /// Accepted ticks the latest durable snapshot covers — the
+    /// compaction horizon, and the `snap_k` announced to replicas.
+    pub last_snapshot_k: usize,
+    /// Highest `k` already fingerprint-checked against a primary (a
+    /// replica-side cursor so stale sync replies are not re-checked).
+    pub fp_checked: u64,
+}
+
+impl TenantState {
+    /// Record a periodic fingerprint, keeping a bounded ring.
+    pub fn push_fingerprint(&mut self, fp: Fingerprint) {
+        const RING: usize = 16;
+        if self.fingerprints.len() == RING {
+            self.fingerprints.remove(0);
+        }
+        self.fingerprints.push(fp);
+    }
 }
 
 impl TenantState {
@@ -199,12 +246,7 @@ impl TenantState {
         daemon_deadline: Option<Duration>,
         coarse_gamma: f64,
     ) -> DegradeOptions {
-        let deadline = match self.spec.deadline_us {
-            None => daemon_deadline,
-            Some(0) => None,
-            Some(us) => Some(Duration::from_micros(us)),
-        };
-        DegradeOptions { deadline, coarse_gamma }
+        DegradeOptions { deadline: self.spec.effective_deadline(daemon_deadline), coarse_gamma }
     }
 
     /// Enter quarantine: structured reason, detail, backoff-gated

@@ -20,6 +20,16 @@
 //!   [`MAX_RECORD`]). The log cannot be trusted past this point;
 //!   recovery quarantines the tenant and reports the byte range that
 //!   failed the check.
+//!
+//! The log is **segmented**: the active file `<tenant>.wal` is sealed
+//! (renamed to `<tenant>.NNNNNNNNNNNN.walseg`, the number being the
+//! count of accepted ticks it runs through) once it crosses a size
+//! threshold, and a fresh active segment opens with its own
+//! registration record so every segment is self-describing. Sealing
+//! happens only at record boundaries, so a torn tail is legal **only**
+//! in the active segment — a short sealed segment is corruption.
+//! Sealed segments fully covered by a durable snapshot are deleted
+//! (compaction), which is what bounds the log's size.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -177,25 +187,43 @@ pub fn scan(bytes: &[u8]) -> WalScan {
 pub struct WalWriter {
     file: File,
     fsync: bool,
+    bytes: u64,
 }
 
 impl WalWriter {
     /// Open (creating if absent) the WAL at `path` for appending.
     pub fn open(path: &Path, fsync: bool) -> io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Self { file, fsync })
+        let bytes = file.metadata()?.len();
+        Ok(Self { file, fsync, bytes })
     }
 
     /// Append one record and flush it to the OS. With `fsync` the write
     /// is also forced to stable storage — survives power loss, not just
     /// process death.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
-        self.file.write_all(&frame(record))?;
+        let framed = frame(record);
+        self.file.write_all(&framed)?;
         self.file.flush()?;
         if self.fsync {
             self.file.sync_data()?;
         }
+        self.bytes += framed.len() as u64;
         Ok(())
+    }
+
+    /// Size of the file this writer has appended through, in bytes —
+    /// what segment rotation checks against its threshold.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Force everything appended so far to stable storage (graceful
+    /// shutdown does this even when per-append `fsync` is off).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
     }
 }
 
@@ -228,6 +256,38 @@ pub fn wal_path(dir: &Path, tenant: &str) -> PathBuf {
 #[must_use]
 pub fn snap_path(dir: &Path, tenant: &str) -> PathBuf {
     dir.join(format!("{tenant}.snap"))
+}
+
+/// `<dir>/<tenant>.NNNNNNNNNNNN.walseg` — a sealed segment running
+/// through `through` accepted ticks (zero-padded so the lexicographic
+/// order of segment files is their numeric order).
+#[must_use]
+pub fn seg_path(dir: &Path, tenant: &str, through: u64) -> PathBuf {
+    dir.join(format!("{tenant}.{through:012}.walseg"))
+}
+
+/// The sealed segments of `tenant` under `dir`, as `(through, path)`
+/// pairs in ascending `through` order. A missing directory is an empty
+/// list; files whose names don't parse are ignored (they are not ours).
+#[must_use]
+pub fn list_segments(dir: &Path, tenant: &str) -> Vec<(u64, PathBuf)> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let prefix = format!("{tenant}.");
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else { continue };
+        let Some(digits) = rest.strip_suffix(".walseg") else { continue };
+        if digits.len() != 12 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        if let Ok(through) = digits.parse::<u64>() {
+            out.push((through, path));
+        }
+    }
+    out.sort_by_key(|&(through, _)| through);
+    out
 }
 
 #[cfg(test)]
@@ -316,6 +376,42 @@ mod tests {
         let mut huge = bytes;
         huge[0..4].copy_from_slice(&(MAX_RECORD as u32 + 1).to_le_bytes());
         assert!(matches!(scan(&huge).tail, WalTail::Corrupt { .. }));
+    }
+
+    #[test]
+    fn segment_listing_orders_and_filters() {
+        let dir = std::env::temp_dir().join(format!("rsz-walseg-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for through in [12u64, 3, 7] {
+            std::fs::write(seg_path(&dir, "t1", through), b"x").unwrap();
+        }
+        // Another tenant's segment and unrelated files must not leak in.
+        std::fs::write(seg_path(&dir, "t2", 1), b"x").unwrap();
+        std::fs::write(dir.join("t1.wal"), b"x").unwrap();
+        std::fs::write(dir.join("t1.notdigits.walseg"), b"x").unwrap();
+        let segs = list_segments(&dir, "t1");
+        let throughs: Vec<u64> = segs.iter().map(|&(t, _)| t).collect();
+        assert_eq!(throughs, vec![3, 7, 12]);
+        assert!(list_segments(&dir.join("missing"), "t1").is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_tracks_bytes_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("rsz-walbytes-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = wal_path(&dir, "t");
+        let mut w = WalWriter::open(&path, false).unwrap();
+        assert_eq!(w.bytes(), 0);
+        w.append(&WalRecord::Tick { seq: 0, load: 1.0 }).unwrap();
+        let after_one = w.bytes();
+        assert_eq!(after_one as usize, frame(&WalRecord::Tick { seq: 0, load: 1.0 }).len());
+        drop(w);
+        let w = WalWriter::open(&path, false).unwrap();
+        assert_eq!(w.bytes(), after_one, "reopen must resume the on-disk size");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

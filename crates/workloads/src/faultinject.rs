@@ -116,6 +116,25 @@ pub struct DaemonFaultPlan {
     pub wal_flip_at: u64,
     /// Whether the snapshot file is deleted while the WAL is kept.
     pub drop_snapshot: bool,
+    /// Mixing seed for the per-sync replication fault sequence (see
+    /// [`DaemonFaultPlan::repl_fault`]).
+    pub repl_mix: u64,
+}
+
+/// One network fault thrown at a single replication sync round trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplFault {
+    /// The sync goes through untouched.
+    None,
+    /// The reply is lost (the replica sees a transport error).
+    Drop,
+    /// The primary is unreachable entirely (request never arrives).
+    Partition,
+    /// The reply arrives, but late (the replica's timeout may fire).
+    Delay,
+    /// A *stale* reply arrives — an earlier sync's answer delivered
+    /// out of order.
+    Reorder,
 }
 
 /// Derive the daemon fault plan for `seed`.
@@ -128,6 +147,7 @@ pub fn daemon_plan(seed: u64) -> DaemonFaultPlan {
         wal_truncate_at: rng.gen(),
         wal_flip_at: rng.gen(),
         drop_snapshot: rng.gen_bool(0.5),
+        repl_mix: rng.gen(),
     }
 }
 
@@ -168,6 +188,27 @@ impl DaemonFaultPlan {
         let bit = (self.wal_flip_at >> 32) % 8;
         wal[idx] ^= 1 << bit;
         Some(idx)
+    }
+
+    /// The network fault thrown at replication sync number `index` —
+    /// a stateless hash of `(repl_mix, index)`, so any sync's fate can
+    /// be queried out of order and the whole timeline reproduces from
+    /// the seed alone. Roughly half the syncs go through clean; the
+    /// rest split evenly across the four fault kinds.
+    #[must_use]
+    pub fn repl_fault(&self, index: u64) -> ReplFault {
+        // splitmix64 over the mixing seed and the sync index.
+        let mut z = self.repl_mix ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        match z % 8 {
+            0 => ReplFault::Drop,
+            1 => ReplFault::Partition,
+            2 => ReplFault::Delay,
+            3 => ReplFault::Reorder,
+            _ => ReplFault::None,
+        }
     }
 }
 
@@ -244,6 +285,7 @@ mod tests {
         assert_eq!(a.wal_truncate_at, b.wal_truncate_at);
         assert_eq!(a.wal_flip_at, b.wal_flip_at);
         assert_eq!(a.drop_snapshot, b.drop_snapshot);
+        assert_eq!(a.repl_mix, b.repl_mix);
         for seed in 0..20 {
             let p = daemon_plan(seed);
             let line = r#"{"op":"tick","tenant":"t","seq":3,"load":1.5}"#;
@@ -271,5 +313,27 @@ mod tests {
 
         assert_eq!(p.truncate_wal(&mut Vec::new()), None);
         assert_eq!(p.flip_wal(&mut []), None);
+    }
+
+    #[test]
+    fn repl_faults_are_stateless_varied_and_mostly_clean() {
+        let p = daemon_plan(17);
+        // Stateless: querying out of order agrees with querying in order.
+        let forward: Vec<ReplFault> = (0..64).map(|i| p.repl_fault(i)).collect();
+        let backward: Vec<ReplFault> = (0..64).rev().map(|i| p.repl_fault(i)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // All five outcomes occur somewhere in a modest window.
+        for want in [
+            ReplFault::None,
+            ReplFault::Drop,
+            ReplFault::Partition,
+            ReplFault::Delay,
+            ReplFault::Reorder,
+        ] {
+            assert!((0..256).any(|i| p.repl_fault(i) == want), "fault kind {want:?} never drawn");
+        }
+        // Clean syncs dominate, so replication always makes progress.
+        let clean = (0..256).filter(|&i| p.repl_fault(i) == ReplFault::None).count();
+        assert!(clean > 64, "only {clean}/256 clean syncs");
     }
 }

@@ -46,6 +46,6 @@ pub mod stochastic;
 pub mod trace;
 
 pub use events::{apply as apply_events, CapacityEvent, EventOutcome, GapPolicy};
-pub use faultinject::FaultPlan;
+pub use faultinject::{daemon_plan, DaemonFaultPlan, FaultPlan, ReplFault};
 pub use io::{read_trace_with, RepairPolicy, RepairReport, TraceError};
 pub use trace::Trace;

@@ -51,10 +51,12 @@ const USAGE: &str = "usage:
   rsz simulate --trace FILE --fleet PRESET --algo {a|b|c[:EPS]|lcp|rhc[:W]}
                [--engine] [--cache] [--pipeline] [--refine] [--repair POLICY]
                [--resume FILE] [--snapshot-every K] [--out FILE]
-               [--remote ADDR [--tenant NAME]]
+               [--remote ADDR [--tenant NAME] [--peers A,B,...]]
   rsz serve    [--addr HOST:PORT] [--state-dir DIR] [--deadline-us N]
                [--queue-bound N] [--snapshot-every K] [--pool-capacity N]
-               [--coarse-gamma G] [--fsync]
+               [--coarse-gamma G] [--fsync] [--segment-bytes N]
+               [--fingerprint-every K] [--replica-of ADDR]
+               [--replica-id NAME] [--sync-interval-ms N] [--lease-syncs N]
   rsz generate --pattern NAME --len N --peak X [--seed S] [--out FILE]
 
 fleets:      homogeneous:M | cpu-gpu:C,G | old-new:O,N | three-tier:L,C,G
@@ -96,10 +98,23 @@ corrupt storage) is quarantined with a structured reason and retried
 with backoff; the daemon and all other tenants keep serving.
 --deadline-us arms the per-decision degradation ladder
 (exact → coarse grid → hold) for tenants that do not set their own.
-GET /health and GET /metrics (or the JSON ops) export liveness and
+GET /health, /livez, /readyz, and /metrics (or the JSON ops) export
+liveness, readiness (role, replication lag, quarantined tenants), and
 counters. simulate --remote ADDR streams the trace to such a daemon
 instead of deciding locally ( --tenant names the stream; re-running
-resumes idempotently) and reports the same cost/latency summary.
+resumes idempotently) and reports the same cost/latency summary;
+--peers lists the whole replica set for transparent failover.
+
+--replica-of ADDR starts the daemon as a pull-based replica of the
+primary at ADDR: it applies the primary's WAL stream through the
+identical step path (bit-identical state), cross-checks periodic state
+fingerprints — a mismatch quarantines the diverged tenant rather than
+ever serving a divergent plan — and promotes itself to primary after
+--lease-syncs consecutive failed syncs (--sync-interval-ms apart).
+--segment-bytes rotates each tenant's WAL into sealed segments that
+are compacted once a snapshot covers them; --fingerprint-every sets
+the divergence-check cadence. SIGTERM (or the shutdown op) stops
+admission, flushes + fsyncs WALs, seals final snapshots, and exits 0.
 
 --refine runs the coarse-to-fine corridor solver: a cheap gamma-grid
 coarse solve localizes the optimum, the DP then prices and sweeps only
@@ -604,7 +619,9 @@ fn report_simulation(
 /// `rsz serve`: bind the daemon and run the accept loop until a
 /// `shutdown` request arrives.
 fn serve_cmd(args: &[String]) -> ExitCode {
-    use heterogeneous_rightsizing::serve::{Daemon, ServeOptions, Server};
+    use heterogeneous_rightsizing::serve::{
+        install_sigterm_handler, replication, Daemon, ServeOptions, Server,
+    };
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
     let mut options = ServeOptions {
         fsync: has_flag(args, "--fsync"),
@@ -640,22 +657,68 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         Some(Ok(g)) if g > 1.0 => options.coarse_gamma = g,
         Some(_) => return fail("--coarse-gamma G needs G > 1"),
     }
+    match flag(args, "--segment-bytes").as_deref().map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(n)) => options.segment_bytes = n,
+        Some(Err(_)) => return fail("--segment-bytes N needs a non-negative integer (0 = off)"),
+    }
+    match flag(args, "--fingerprint-every").as_deref().map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(k)) => options.fingerprint_every = k,
+        Some(Err(_)) => {
+            return fail("--fingerprint-every K needs a non-negative integer (0 = off)")
+        }
+    }
+    let replica_of = flag(args, "--replica-of");
+    let replica_id = flag(args, "--replica-id").unwrap_or_else(|| "replica".into());
+    let sync_interval = match flag(args, "--sync-interval-ms").as_deref().map(str::parse::<u64>) {
+        None => std::time::Duration::from_millis(500),
+        Some(Ok(ms)) if ms >= 1 => std::time::Duration::from_millis(ms),
+        Some(_) => return fail("--sync-interval-ms N needs a positive integer"),
+    };
+    let lease_syncs = match flag(args, "--lease-syncs").as_deref().map(str::parse::<u32>) {
+        None => 5,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => return fail("--lease-syncs N needs a positive integer"),
+    };
     let state_dir = options.state_dir.clone();
     let daemon = match Daemon::new(options) {
         Ok(d) => std::sync::Arc::new(d),
         Err(e) => return fail(&format!("cannot open state dir {}: {e}", state_dir.display())),
     };
+    install_sigterm_handler();
     let recovered = daemon.counters.recovered.load(std::sync::atomic::Ordering::Relaxed);
-    let server = match Server::bind(daemon, &addr) {
+    let mut replica_thread = None;
+    if let Some(primary) = replica_of {
+        daemon.set_role(replication::Role::Replica);
+        let sync_daemon = std::sync::Arc::clone(&daemon);
+        replica_thread = Some(std::thread::spawn(move || {
+            let promoted = replication::run_replica(
+                &sync_daemon,
+                &primary,
+                sync_interval,
+                replication::ReplicaOptions { replica_id, lease_failures: lease_syncs },
+            );
+            if promoted {
+                eprintln!("rsz serve: lease on {primary} expired; promoted to primary");
+            }
+        }));
+    }
+    let server = match Server::bind(std::sync::Arc::clone(&daemon), &addr) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
     };
     eprintln!(
-        "rsz serve listening on {} (state dir {}, {recovered} tenant(s) recovered)",
+        "rsz serve listening on {} as {} (state dir {}, {recovered} tenant(s) recovered)",
         server.local_addr(),
+        daemon.role().as_str(),
         state_dir.display(),
     );
-    match server.run() {
+    let outcome = server.run();
+    if let Some(t) = replica_thread {
+        let _ = t.join();
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&format!("accept loop failed: {e}")),
     }
@@ -688,7 +751,14 @@ fn simulate_remote(addr: &str, args: &[String]) -> ExitCode {
         deadline_us,
         snapshot_every: 0,
     };
-    let mut client = Client::new(addr, ClientOptions::default());
+    // --peers lists the whole replica set; the primary's address leads
+    // and failover rotates through the rest transparently.
+    let mut peers = vec![addr.to_owned()];
+    if let Some(extra) = flag(args, "--peers") {
+        peers.extend(extra.split(',').map(str::trim).filter(|p| !p.is_empty()).map(str::to_owned));
+    }
+    peers.dedup();
+    let mut client = Client::with_peers(&peers, ClientOptions::default());
     let resumed = match client.register(&tenant, &spec) {
         Ok(n) => n,
         Err(e) => return fail_solve(&format!("cannot register with {addr}: {e}")),
@@ -722,9 +792,10 @@ fn simulate_remote(addr: &str, args: &[String]) -> ExitCode {
     println!("switching cost:  {:.3}", bd.switching);
     println!("total cost:      {:.3}", bd.total());
     println!(
-        "remote ticks:    {} total, {replayed} replayed, {} retries, {:.1} ms wall",
+        "remote ticks:    {} total, {replayed} replayed, {} retries, {} failovers, {:.1} ms wall",
         instance.horizon(),
         client.retries(),
+        client.rotations(),
         elapsed.as_secs_f64() * 1e3,
     );
     if let Some(out) = flag(args, "--out") {

@@ -55,6 +55,31 @@ fn committed_speedups_never_drop_below_their_gates() {
 }
 
 #[test]
+fn serve_trajectory_carries_failover_and_divergence_fields() {
+    // The replicated-serve PR made the serve trajectory carry failover
+    // latency and divergence-detection counters; downstream diffing
+    // relies on them being present in every committed record.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("BENCH_serve.json");
+    let body =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("BENCH_serve.json unreadable: {e}"));
+    for key in ["failover_p50_us", "failover_p99_us", "divergence_detected", "fingerprint_checks"] {
+        let got = number_of(&body, key)
+            .unwrap_or_else(|| panic!("BENCH_serve.json is missing a numeric `{key}`"));
+        assert!(got >= 0.0, "BENCH_serve.json: `{key}` is {got}");
+    }
+    // The bench gates M-for-M detection before writing the record; a
+    // committed record violating that means someone bypassed the gate.
+    let detected = number_of(&body, "divergence_detected").expect("checked above");
+    let tenants = number_of(&body, "divergence_tenants")
+        .unwrap_or_else(|| panic!("BENCH_serve.json is missing `divergence_tenants`"));
+    assert!(
+        (detected - tenants).abs() < f64::EPSILON,
+        "BENCH_serve.json records {detected} detections over {tenants} flipped tenants"
+    );
+}
+
+#[test]
 fn all_bench_trajectories_carry_the_required_keys() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut checked = 0usize;

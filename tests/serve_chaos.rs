@@ -538,3 +538,99 @@ fn deadline_none_is_bit_transparent_through_the_serve_path() {
     assert_eq!(tenant.get("rung").and_then(Json::as_str), Some("exact"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------
+// 5. Segment rotation, compaction, and graceful shutdown
+// ---------------------------------------------------------------------
+
+/// A 1-byte segment threshold seals a segment on every append, so the
+/// log is maximally fragmented and snapshots compact covered segments
+/// as they seal. `kill -9` over that debris — sealed segments, a
+/// compacted prefix, a fresh active file — still recovers
+/// bit-identically at every offset.
+#[test]
+fn rotation_and_compaction_survive_kill_restart_bit_identically() {
+    let c = &combos()[0];
+    let expect = baseline(c, 3);
+    let loads = loads();
+    let offsets: Vec<usize> =
+        if quick() { vec![1, 4, loads.len()] } else { (1..=loads.len()).collect() };
+    for kill_at in offsets {
+        let dir = tmp_dir(&format!("rot-{kill_at}"));
+        let opts = ServeOptions { segment_bytes: 1, ..options(&dir) };
+        let daemon = Daemon::new(opts.clone()).unwrap();
+        assert_ok(&daemon.handle(&register_line("t", c, 3)));
+        for (i, &l) in loads[..kill_at].iter().enumerate() {
+            assert_eq!(decided(&daemon.handle(&tick_line("t", i, l))), expect[i]);
+        }
+        // Every accepted tick sealed a segment; the cadence-3 snapshots
+        // compacted every covered one.
+        let sealed = daemon.counters.segments_sealed.load(Ordering::Relaxed);
+        assert_eq!(sealed, kill_at as u64, "one seal per tick at threshold 1");
+        let compacted = daemon.counters.segments_compacted.load(Ordering::Relaxed);
+        if kill_at >= 3 {
+            assert!(compacted >= 3, "kill_at {kill_at}: only {compacted} compacted");
+        }
+        let m = json::parse(&daemon.handle("GET /metrics")).unwrap();
+        assert_eq!(m.get("segments_sealed").and_then(Json::as_u64), Some(sealed));
+        assert_eq!(m.get("segments_compacted").and_then(Json::as_u64), Some(compacted));
+        drop(daemon); // kill -9: no shutdown, no final snapshot
+
+        let daemon = Daemon::new(opts).unwrap();
+        let v = json::parse(&daemon.handle(&register_line("t", c, 3))).unwrap();
+        assert_eq!(
+            v.get("resumed_ticks").and_then(Json::as_u64),
+            Some(kill_at as u64),
+            "kill_at {kill_at}"
+        );
+        for (i, &l) in loads.iter().enumerate() {
+            let reply = daemon.handle(&tick_line("t", i, l));
+            assert_eq!(decided(&reply), expect[i], "kill_at {kill_at} seq {i}: {reply}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// An orderly shutdown stops admission with an explicit `overloaded`,
+/// fsyncs the WALs, and seals a final snapshot — so the restart
+/// restores from that snapshot without a WAL-replay fallback and
+/// resumes bit-identically. Snapshot cadence is set beyond the horizon:
+/// the only snapshot is the shutdown's.
+#[test]
+fn graceful_shutdown_seals_state_and_restart_resumes_cleanly() {
+    let c = &combos()[0];
+    let expect = baseline(c, 100);
+    let loads = loads();
+    let dir = tmp_dir("graceful");
+    let daemon = Daemon::new(options(&dir)).unwrap();
+    assert_ok(&daemon.handle(&register_line("t", c, 100)));
+    for (i, &l) in loads.iter().enumerate() {
+        assert_eq!(decided(&daemon.handle(&tick_line("t", i, l))), expect[i]);
+    }
+    assert!(!wal::snap_path(&dir, "t").exists(), "cadence 100 must not have snapshotted");
+
+    daemon.graceful_shutdown();
+    assert!(wal::snap_path(&dir, "t").exists(), "shutdown must seal a final snapshot");
+    // Admission is closed: fresh work sheds explicitly and retryably.
+    let reply = daemon.handle(&tick_line("t", loads.len(), 1.0));
+    assert!(reply.contains("\"error\":\"overloaded\""), "{reply}");
+    assert!(reply.contains("shutting down"), "{reply}");
+    let ready = daemon.handle("GET /readyz");
+    assert!(ready.contains("\"ready\":false"), "{ready}");
+    assert!(daemon.handle("GET /livez").contains("\"live\":true"), "live until exit");
+    daemon.graceful_shutdown(); // idempotent
+    drop(daemon);
+
+    let daemon = Daemon::new(options(&dir)).unwrap();
+    assert_eq!(
+        daemon.counters.snapshot_fallbacks.load(Ordering::Relaxed),
+        0,
+        "the shutdown snapshot must restore cleanly"
+    );
+    let v = json::parse(&daemon.handle(&register_line("t", c, 100))).unwrap();
+    assert_eq!(v.get("resumed_ticks").and_then(Json::as_u64), Some(loads.len() as u64));
+    for (i, &l) in loads.iter().enumerate() {
+        assert_eq!(decided(&daemon.handle(&tick_line("t", i, l))), expect[i]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
